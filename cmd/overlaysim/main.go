@@ -1,0 +1,206 @@
+// Command overlaysim drives the page-overlay simulator's experiment
+// harness. Each subcommand regenerates one table or figure from the
+// paper's evaluation (§5):
+//
+//	overlaysim config                 Table 2 (simulated system)
+//	overlaysim fork                   Figures 8 and 9 (overlay-on-write vs copy-on-write)
+//	overlaysim spmv                   Figure 10 (SpMV: overlays vs CSR)
+//	overlaysim linesize               Figure 11 (memory overhead vs granularity)
+//	overlaysim sweep                  §5.2 sparsity sweep (overlays vs dense)
+//	overlaysim dualcore               extension: divergence with both processes running
+//	overlaysim trace                  record a workload trace / replay one through the simulator
+//	overlaysim stats                  run one fork benchmark and dump all counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/exp"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: overlaysim <config|fork|spmv|linesize|sweep|dualcore|trace|stats> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "config":
+		system.Describe(os.Stdout, system.Default())
+	case "fork":
+		err = forkCmd(os.Args[2:])
+	case "spmv":
+		err = spmvCmd(os.Args[2:])
+	case "linesize":
+		err = linesizeCmd(os.Args[2:])
+	case "sweep":
+		err = sweepCmd(os.Args[2:])
+	case "dualcore":
+		exp.PrintDualCore(os.Stdout, []exp.DualCoreResult{
+			exp.RunDualCoreDivergence(true),
+			exp.RunDualCoreDivergence(false),
+		})
+	case "trace":
+		err = traceCmd(os.Args[2:])
+	case "stats":
+		err = statsCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overlaysim:", err)
+		os.Exit(1)
+	}
+}
+
+func forkCmd(args []string) error {
+	fs := flag.NewFlagSet("fork", flag.ExitOnError)
+	warm := fs.Uint64("warm", exp.DefaultForkParams().WarmInstructions, "warm-up instructions before the fork")
+	measure := fs.Uint64("measure", exp.DefaultForkParams().MeasureInstructions, "instructions measured after the fork")
+	bench := fs.String("bench", "", "run a single benchmark (default: all 15)")
+	fs.Parse(args)
+	params := exp.ForkParams{WarmInstructions: *warm, MeasureInstructions: *measure}
+	var names []string
+	if *bench != "" {
+		names = []string{*bench}
+	}
+	results, err := exp.RunForkSuite(params, names)
+	if err != nil {
+		return err
+	}
+	exp.PrintFigure8(os.Stdout, results)
+	fmt.Println()
+	exp.PrintFigure9(os.Stdout, results)
+	return nil
+}
+
+func spmvCmd(args []string) error {
+	fs := flag.NewFlagSet("spmv", flag.ExitOnError)
+	limit := fs.Int("matrices", 0, "number of suite matrices to run (0 = all 87)")
+	dense := fs.Bool("dense", false, "also run the dense baseline")
+	fs.Parse(args)
+	results, err := exp.RunFigure10(*limit, *dense)
+	if err != nil {
+		return err
+	}
+	exp.PrintFigure10(os.Stdout, results)
+	return nil
+}
+
+func linesizeCmd(args []string) error {
+	fs := flag.NewFlagSet("linesize", flag.ExitOnError)
+	limit := fs.Int("matrices", 0, "number of suite matrices (0 = all 87)")
+	fs.Parse(args)
+	exp.PrintFigure11(os.Stdout, exp.RunFigure11(*limit))
+	return nil
+}
+
+func sweepCmd(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	points := fs.Int("points", 11, "sparsity levels between 0%% and 100%%")
+	rows := fs.Int("rows", 256, "matrix dimension")
+	fs.Parse(args)
+	results, err := exp.RunSparsitySweep(*points, *rows)
+	if err != nil {
+		return err
+	}
+	exp.PrintSweep(os.Stdout, results)
+	return nil
+}
+
+func statsCmd(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	bench := fs.String("bench", "mcf", "benchmark to run")
+	overlay := fs.Bool("overlay", true, "use overlay-on-write (false: copy-on-write)")
+	measure := fs.Uint64("measure", exp.QuickForkParams().MeasureInstructions, "instructions after fork")
+	fs.Parse(args)
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = spec.Pages*2 + 16384
+	stats, err := exp.RunWithStats(spec, cfg, exp.ForkParams{
+		WarmInstructions:    exp.QuickForkParams().WarmInstructions,
+		MeasureInstructions: *measure,
+	}, *overlay)
+	if err != nil {
+		return err
+	}
+	fmt.Print(stats)
+	return nil
+}
+
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	bench := fs.String("bench", "mcf", "benchmark to record")
+	out := fs.String("out", "", "record the trace to this file")
+	in := fs.String("in", "", "replay a recorded trace through the simulator")
+	n := fs.Uint64("n", 100000, "instructions to record")
+	fs.Parse(args)
+
+	if *out != "" {
+		spec, err := workload.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		fh, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		count, err := trace.Record(fh, spec.NewTrace(), *n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", count, *bench, *out)
+		return nil
+	}
+	if *in != "" {
+		fh, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		r, err := trace.NewReader(fh)
+		if err != nil {
+			return err
+		}
+		spec, err := workload.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig()
+		cfg.MemoryPages = spec.Pages*2 + 16384
+		f, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		proc := f.VM.NewProcess()
+		if err := spec.MapFootprint(f, proc); err != nil {
+			return err
+		}
+		port := f.NewPort()
+		c := cpu.New(f.Engine, port, proc.PID, r)
+		c.Run(0, nil)
+		f.Engine.Run()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		fmt.Printf("replayed %d instructions in %d cycles (CPI %.3f)\n",
+			c.Retired(), c.Cycles(), c.CPI())
+		return nil
+	}
+	return fmt.Errorf("trace: need -out (record) or -in (replay)")
+}

@@ -1,0 +1,74 @@
+// Checkpoint: overlay-based incremental checkpointing (§5.3.2). A
+// long-running computation checkpoints its state every interval; updates
+// between checkpoints collect in page overlays, so each checkpoint writes
+// only the modified cache lines to the backing store — not the modified
+// pages — and any checkpoint can be restored later.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/techniques/checkpoint"
+)
+
+const pages = 128
+
+func main() {
+	f, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := f.VM.NewProcess()
+	if err := f.VM.MapAnon(p, 0, pages); err != nil {
+		log.Fatal(err)
+	}
+	// Initial state: a counter in every page.
+	for pg := 0; pg < pages; pg++ {
+		f.Store64(p.PID, arch.VirtAddr(pg)*arch.PageSize, 0)
+	}
+
+	ck := checkpoint.New(f, p, 0, pages)
+	if err := ck.Begin(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("interval  dirty-lines  overlay-bytes  page-granularity-bytes  saving")
+	var totalDelta, totalPage int
+	for interval := 1; interval <= 4; interval++ {
+		// The "computation": bump a few counters — interval² pages, one
+		// line each, the sparse-update pattern HPC checkpointing sees.
+		for pg := 0; pg < interval*interval*4; pg++ {
+			va := arch.VirtAddr(pg%pages)*arch.PageSize + arch.VirtAddr((pg%arch.LinesPerPage)*arch.LineSize)
+			v, _ := f.Load64(p.PID, va)
+			f.Store64(p.PID, va, v+1)
+		}
+		cp, err := ck.Take()
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalDelta += cp.Bytes()
+		totalPage += cp.FullPageBytes()
+		fmt.Printf("%8d %12d %14d %23d %6.1fx\n",
+			interval, len(cp.Deltas), cp.Bytes(), cp.FullPageBytes(),
+			float64(cp.FullPageBytes())/float64(max(cp.Bytes(), 1)))
+	}
+	fmt.Printf("\ntotal backing-store writes: %d KB vs %d KB at page granularity\n",
+		totalDelta>>10, totalPage>>10)
+
+	// Disaster strikes: roll back to checkpoint 2.
+	if err := ck.RestoreTo(2); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := f.Load64(p.PID, 0)
+	fmt.Printf("after RestoreTo(2), counter[0] = %d (state as of interval 2)\n", v)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+// Dedup: fine-grained memory deduplication across virtual machines
+// (§5.3.1). Two "guest" processes boot from the same image; their pages
+// differ in a handful of cache lines. The deduplicator folds each
+// near-duplicate page onto a shared base page, keeping the differences in
+// overlays — and the guests keep read/write access throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/techniques/dedup"
+	"repro/internal/vm"
+)
+
+const imagePages = 64
+
+func main() {
+	f, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two guests with mostly identical memory images.
+	guestA := bootGuest(f, 0xA0)
+	guestB := bootGuest(f, 0xA0)
+	// Guest B diverges slightly: one config line per 8 pages.
+	for p := 0; p < imagePages; p += 8 {
+		va := arch.VirtAddr(p)*arch.PageSize + 5*arch.LineSize
+		if err := f.Store(guestB.PID, va, []byte("guest-b-config")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	before := f.Mem.AllocatedPages()
+	d := dedup.New(f, 16)
+	var pages []dedup.Page
+	for p := 0; p < imagePages; p++ {
+		pages = append(pages, dedup.Page{Proc: guestA, VPN: arch.VPN(p)})
+		pages = append(pages, dedup.Page{Proc: guestB, VPN: arch.VPN(p)})
+	}
+	folds, err := d.ScanAndFold(pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	freed := before - f.Mem.AllocatedPages()
+	fmt.Printf("folded %d of %d pages, freed %d frames (%d KB), overlays hold %d KB of diffs\n",
+		folds, len(pages), freed, freed*4, f.OMS.BytesInUse()>>10)
+
+	// Guests still see their own data...
+	var b [14]byte
+	f.Load(guestB.PID, 5*arch.LineSize, b[:])
+	fmt.Printf("guest B reads its diverged line: %q\n", b)
+	f.Load(guestA.PID, 5*arch.LineSize, b[:])
+	fmt.Printf("guest A reads the shared line:   %#x...\n", b[0])
+
+	// ...and can keep writing: divergence happens at line granularity.
+	if err := f.Store(guestA.PID, 0, []byte{0xEE}); err != nil {
+		log.Fatal(err)
+	}
+	f.Load(guestB.PID, 0, b[:1])
+	fmt.Printf("after guest A writes, guest B still sees %#x (isolated at 64B granularity)\n", b[0])
+}
+
+func bootGuest(f *core.Framework, fill byte) *vm.Process {
+	g := f.VM.NewProcess()
+	if err := f.VM.MapAnon(g, 0, imagePages); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, arch.PageSize)
+	for i := range buf {
+		buf[i] = fill
+	}
+	for p := 0; p < imagePages; p++ {
+		if err := f.Store(g.PID, arch.VirtAddr(p)*arch.PageSize, buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return g
+}

@@ -1,0 +1,236 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if PageSize != 4096 {
+		t.Errorf("PageSize = %d, want 4096", PageSize)
+	}
+	if LineSize != 64 {
+		t.Errorf("LineSize = %d, want 64", LineSize)
+	}
+	if LinesPerPage != 64 {
+		t.Errorf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+}
+
+func TestVirtAddrDecomposition(t *testing.T) {
+	tests := []struct {
+		addr       VirtAddr
+		page       VPN
+		offset     uint64
+		line       int
+		lineOffset uint64
+	}{
+		{0, 0, 0, 0, 0},
+		{0x1000, 1, 0, 0, 0},
+		{0x1fff, 1, 0xfff, 63, 63},
+		{0x12345, 0x12, 0x345, 13, 5},
+		{0x7fffffffffff, 0x7ffffffff, 0xfff, 63, 63},
+	}
+	for _, tc := range tests {
+		if got := tc.addr.Page(); got != tc.page {
+			t.Errorf("%#x.Page() = %#x, want %#x", uint64(tc.addr), got, tc.page)
+		}
+		if got := tc.addr.Offset(); got != tc.offset {
+			t.Errorf("%#x.Offset() = %#x, want %#x", uint64(tc.addr), got, tc.offset)
+		}
+		if got := tc.addr.Line(); got != tc.line {
+			t.Errorf("%#x.Line() = %d, want %d", uint64(tc.addr), got, tc.line)
+		}
+		if got := tc.addr.LineOffset(); got != tc.lineOffset {
+			t.Errorf("%#x.LineOffset() = %d, want %d", uint64(tc.addr), got, tc.lineOffset)
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if !VirtAddr(0xffffffffffff).Canonical() {
+		t.Error("48-bit address should be canonical")
+	}
+	if VirtAddr(1 << 48).Canonical() {
+		t.Error("49-bit address should not be canonical")
+	}
+}
+
+func TestOverlayPageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		pid := PID(rng.Intn(1 << PIDBits))
+		vpn := VPN(rng.Int63n(1 << (VirtBits - PageShift)))
+		opn := OverlayPage(pid, vpn)
+		gotPID, gotVPN := SplitOverlayPage(opn)
+		if gotPID != pid || gotVPN != vpn {
+			t.Fatalf("round trip (%d,%#x) -> %#x -> (%d,%#x)", pid, uint64(vpn), uint64(opn), gotPID, uint64(gotVPN))
+		}
+		if !opn.Addr(0).IsOverlay() {
+			t.Fatalf("overlay address for opn %#x missing overlay bit", uint64(opn))
+		}
+	}
+}
+
+func TestOverlayPageUniqueness(t *testing.T) {
+	// The framework's core constraint: no two (pid, vpn) pairs share an
+	// overlay page (Section 4.1).
+	seen := make(map[OPN]struct{})
+	for pid := PID(0); pid < 8; pid++ {
+		for vpn := VPN(0); vpn < 128; vpn++ {
+			opn := OverlayPage(pid, vpn)
+			if _, dup := seen[opn]; dup {
+				t.Fatalf("duplicate OPN %#x for pid=%d vpn=%d", uint64(opn), pid, vpn)
+			}
+			seen[opn] = struct{}{}
+		}
+	}
+}
+
+func TestSplitOverlayPagePanicsOnRegularPage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-overlay page number")
+		}
+	}()
+	SplitOverlayPage(OPN(42))
+}
+
+func TestOverlayPageOfPanicsOnRegularAddress(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-overlay address")
+		}
+	}()
+	OverlayPageOf(PhysAddr(0x1000))
+}
+
+func TestPhysAddrHelpers(t *testing.T) {
+	p := PhysAddrOf(5, 0x345)
+	if p != PhysAddr(0x5345) {
+		t.Fatalf("PhysAddrOf = %#x, want 0x5345", uint64(p))
+	}
+	if p.Page() != 5 {
+		t.Errorf("Page = %d, want 5", p.Page())
+	}
+	if p.Line() != 13 {
+		t.Errorf("Line = %d, want 13", p.Line())
+	}
+	if p.LineAligned() != 0x5340 {
+		t.Errorf("LineAligned = %#x, want 0x5340", uint64(p.LineAligned()))
+	}
+	if p.PageAligned() != 0x5000 {
+		t.Errorf("PageAligned = %#x, want 0x5000", uint64(p.PageAligned()))
+	}
+	if p.IsOverlay() {
+		t.Error("regular address reported as overlay")
+	}
+}
+
+func TestOPNLineAddr(t *testing.T) {
+	opn := OverlayPage(3, 17)
+	a := opn.LineAddr(5)
+	if !a.IsOverlay() {
+		t.Fatal("overlay line address missing overlay bit")
+	}
+	if a.Line() != 5 {
+		t.Errorf("Line = %d, want 5", a.Line())
+	}
+	if OverlayPageOf(a) != opn {
+		t.Errorf("OverlayPageOf = %#x, want %#x", uint64(OverlayPageOf(a)), uint64(opn))
+	}
+}
+
+func TestOBitVectorBasics(t *testing.T) {
+	var b OBitVector
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("zero vector should be empty")
+	}
+	b = b.Set(0).Set(63).Set(17)
+	if !b.Has(0) || !b.Has(63) || !b.Has(17) || b.Has(16) {
+		t.Fatalf("membership wrong: %s", b)
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	b = b.Clear(17)
+	if b.Has(17) || b.Count() != 2 {
+		t.Fatalf("clear failed: %s", b)
+	}
+	if got := b.Lines(); len(got) != 2 || got[0] != 0 || got[1] != 63 {
+		t.Fatalf("Lines = %v, want [0 63]", got)
+	}
+	if (^OBitVector(0)).Full() != true {
+		t.Error("all-ones vector should be Full")
+	}
+	if d := OBitVector(0xff).Density(); d != 8.0/64.0 {
+		t.Errorf("Density = %v, want 0.125", d)
+	}
+}
+
+func TestOBitVectorRank(t *testing.T) {
+	b := OBitVector(0).Set(2).Set(5).Set(9)
+	tests := []struct{ line, want int }{{0, 0}, {2, 0}, {3, 1}, {5, 1}, {6, 2}, {9, 2}, {10, 3}, {63, 3}}
+	for _, tc := range tests {
+		if got := b.Rank(tc.line); got != tc.want {
+			t.Errorf("Rank(%d) = %d, want %d", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestOBitVectorSetClearProperty(t *testing.T) {
+	// Property: Set then Clear restores the original vector; Set is
+	// idempotent; Count changes by exactly 0 or 1.
+	f := func(v uint64, line uint8) bool {
+		b := OBitVector(v)
+		l := int(line % LinesPerPage)
+		s := b.Set(l)
+		if !s.Has(l) || s.Set(l) != s {
+			return false
+		}
+		want := b.Count()
+		if !b.Has(l) {
+			want++
+		}
+		if s.Count() != want {
+			return false
+		}
+		return s.Clear(l) == b.Clear(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOBitVectorRankCountProperty(t *testing.T) {
+	// Property: Rank(64-ish top) equals Count; ranks are monotone.
+	f := func(v uint64) bool {
+		b := OBitVector(v)
+		prev := 0
+		for l := 0; l < LinesPerPage; l++ {
+			r := b.Rank(l)
+			if r < prev {
+				return false
+			}
+			prev = r
+		}
+		last := LinesPerPage - 1
+		wantTop := b.Count()
+		if b.Has(last) {
+			wantTop--
+		}
+		return b.Rank(last) == wantTop
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOBitVectorString(t *testing.T) {
+	b := OBitVector(0).Set(0)
+	s := b.String()
+	if len(s) != 64 || s[63] != '1' || s[0] != '0' {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,65 @@
+package arch
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// OBitVector records, for one virtual page, which of its 64 cache lines
+// are present in the page's overlay (bit i set ⇒ line i is in the
+// overlay). It is cached in every TLB entry and in the memory controller's
+// OMT cache (Section 3.1, Challenge 1).
+type OBitVector uint64
+
+// Has reports whether cache line `line` (0..63) is in the overlay.
+func (b OBitVector) Has(line int) bool { return b>>uint(line)&1 != 0 }
+
+// Set returns the vector with line's bit set.
+func (b OBitVector) Set(line int) OBitVector { return b | 1<<uint(line) }
+
+// Clear returns the vector with line's bit cleared.
+func (b OBitVector) Clear(line int) OBitVector { return b &^ (1 << uint(line)) }
+
+// Count returns the number of lines present in the overlay.
+func (b OBitVector) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Empty reports whether no line is in the overlay.
+func (b OBitVector) Empty() bool { return b == 0 }
+
+// Full reports whether every line of the page is in the overlay.
+func (b OBitVector) Full() bool { return b == ^OBitVector(0) }
+
+// Density returns the fraction of the page's lines held by the overlay.
+func (b OBitVector) Density() float64 { return float64(b.Count()) / LinesPerPage }
+
+// Lines returns the indices of set bits in ascending order.
+func (b OBitVector) Lines() []int {
+	out := make([]int, 0, b.Count())
+	for v := uint64(b); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// Rank returns the number of set bits strictly below `line`. For a
+// sequentially packed overlay this is the slot index of the line.
+func (b OBitVector) Rank(line int) int {
+	return bits.OnesCount64(uint64(b) & (1<<uint(line) - 1))
+}
+
+// String renders the vector MSB-first as 64 '0'/'1' characters, which
+// keeps test failures readable.
+func (b OBitVector) String() string {
+	var sb strings.Builder
+	sb.Grow(LinesPerPage)
+	for i := LinesPerPage - 1; i >= 0; i-- {
+		if b.Has(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,207 @@
+// Package cache models the processor cache hierarchy of Table 2: a 64 KB
+// 4-way L1 and 512 KB 8-way L2 with LRU and parallel tag/data lookup, and
+// a 2 MB 16-way L3 with serial tag/data lookup and DRRIP replacement. All
+// levels use 64 B lines, are write-back/write-allocate, and are
+// non-inclusive.
+//
+// Cache tags are full widened physical addresses, so lines from the
+// Overlay Address Space coexist with regular lines — the "wider cache
+// tags" cost the paper accounts for in §4.5. The hierarchy is timing-only:
+// functional data lives in internal/mem and is updated by the core
+// framework at access time.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// line is one cache block's tag state.
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64 // full line number (addr >> LineShift), overlay bit included
+}
+
+// Replacement is a per-set replacement policy.
+type Replacement interface {
+	// OnHit is called when way in set hits.
+	OnHit(set, way int)
+	// OnMiss is called when a lookup misses in set (before any fill).
+	OnMiss(set int)
+	// OnFill is called after a block is installed into way of set.
+	OnFill(set, way int)
+	// Victim selects the way to evict from a full set.
+	Victim(set int) int
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	Name string
+	sets int
+	ways int
+	data [][]line
+	repl Replacement
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New builds a cache of sizeBytes capacity and the given associativity.
+// newRepl constructs the replacement policy for (sets, ways).
+func New(name string, sizeBytes, ways int, newRepl func(sets, ways int) Replacement) *Cache {
+	lines := sizeBytes / arch.LineSize
+	if lines%ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", name, lines, ways))
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	data := make([][]line, sets)
+	backing := make([]line, sets*ways)
+	for i := range data {
+		data[i], backing = backing[:ways], backing[ways:]
+	}
+	return &Cache{Name: name, sets: sets, ways: ways, data: data, repl: newRepl(sets, ways)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) index(addr arch.PhysAddr) (set int, tag uint64) {
+	lineNum := uint64(addr) >> arch.LineShift
+	return int(lineNum % uint64(c.sets)), lineNum
+}
+
+func (c *Cache) find(addr arch.PhysAddr) (set, way int, ok bool) {
+	set, tag := c.index(addr)
+	for w := range c.data[set] {
+		if l := &c.data[set][w]; l.valid && l.tag == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Lookup probes the cache. On a hit it updates replacement state, marks
+// the line dirty if write is set, and returns true.
+func (c *Cache) Lookup(addr arch.PhysAddr, write bool) bool {
+	set, way, ok := c.find(addr)
+	if !ok {
+		c.Misses++
+		c.repl.OnMiss(set)
+		return false
+	}
+	c.Hits++
+	c.repl.OnHit(set, way)
+	if write {
+		c.data[set][way].dirty = true
+	}
+	return true
+}
+
+// Present reports whether the line is cached, without touching
+// replacement or hit/miss statistics.
+func (c *Cache) Present(addr arch.PhysAddr) bool {
+	_, _, ok := c.find(addr)
+	return ok
+}
+
+// Eviction describes a block displaced by Fill.
+type Eviction struct {
+	Addr  arch.PhysAddr
+	Dirty bool
+}
+
+// Fill installs the line, evicting a victim if the set is full. The
+// returned eviction is valid only when evicted is true.
+func (c *Cache) Fill(addr arch.PhysAddr, dirty bool) (ev Eviction, evicted bool) {
+	set, tag := c.index(addr)
+	// Already present (e.g. racing prefetch): just merge dirty state.
+	for w := range c.data[set] {
+		if l := &c.data[set][w]; l.valid && l.tag == tag {
+			l.dirty = l.dirty || dirty
+			c.repl.OnFill(set, w)
+			return Eviction{}, false
+		}
+	}
+	way := -1
+	for w := range c.data[set] {
+		if !c.data[set][w].valid {
+			way = w
+			break
+		}
+	}
+	if way == -1 {
+		way = c.repl.Victim(set)
+		v := c.data[set][way]
+		ev = Eviction{Addr: arch.PhysAddr(v.tag << arch.LineShift), Dirty: v.dirty}
+		evicted = true
+	}
+	c.data[set][way] = line{valid: true, dirty: dirty, tag: tag}
+	c.repl.OnFill(set, way)
+	return ev, evicted
+}
+
+// Invalidate removes the line if present, returning whether it was present
+// and whether it was dirty.
+func (c *Cache) Invalidate(addr arch.PhysAddr) (present, dirty bool) {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return false, false
+	}
+	dirty = c.data[set][way].dirty
+	c.data[set][way] = line{}
+	return true, dirty
+}
+
+// Retag renames a cached line from oldAddr to newAddr, preserving dirty
+// state. This implements the first step of an overlaying write (§4.3.3):
+// the block's data stays in place and only its tag changes. It returns
+// false when oldAddr is not cached. If the new tag maps to a different
+// set, the line is refilled there (possibly evicting a victim).
+func (c *Cache) Retag(oldAddr, newAddr arch.PhysAddr) (moved bool, ev Eviction, evicted bool) {
+	set, way, ok := c.find(oldAddr)
+	if !ok {
+		return false, Eviction{}, false
+	}
+	dirty := c.data[set][way].dirty
+	newSet, newTag := c.index(newAddr)
+	if newSet == set {
+		c.data[set][way].tag = newTag
+		return true, Eviction{}, false
+	}
+	c.data[set][way] = line{}
+	ev, evicted = c.Fill(newAddr, dirty)
+	return true, ev, evicted
+}
+
+// SetDirty marks a present line dirty (used when a retagged block absorbs
+// the triggering store).
+func (c *Cache) SetDirty(addr arch.PhysAddr) bool {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return false
+	}
+	c.data[set][way].dirty = true
+	return true
+}
+
+// DirtyLines returns the addresses of all dirty lines (test/debug aid and
+// used by flush-style promotions).
+func (c *Cache) DirtyLines() []arch.PhysAddr {
+	var out []arch.PhysAddr
+	for s := range c.data {
+		for w := range c.data[s] {
+			if l := c.data[s][w]; l.valid && l.dirty {
+				out = append(out, arch.PhysAddr(l.tag<<arch.LineShift))
+			}
+		}
+	}
+	return out
+}

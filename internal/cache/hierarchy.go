@@ -1,0 +1,278 @@
+package cache
+
+import (
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// Backend is what sits below the last-level cache: the memory controller
+// (which resolves overlay addresses through the OMT before DRAM).
+type Backend interface {
+	// Fetch reads the line from main memory; done fires on completion.
+	Fetch(addr arch.PhysAddr, done func())
+	// WriteBack sends a dirty line to main memory (fire and forget).
+	WriteBack(addr arch.PhysAddr)
+}
+
+// MissObserver is notified of L2 demand misses; the stream prefetcher
+// implements it (Table 2: "monitor L2 misses and prefetch into L3").
+type MissObserver interface {
+	OnMiss(addr arch.PhysAddr)
+}
+
+// LevelConfig sizes one cache level. HitLatency is the full hit latency;
+// TagLatency is the time to discover a miss and forward it down.
+type LevelConfig struct {
+	Size       int
+	Ways       int
+	HitLatency sim.Cycle
+	TagLatency sim.Cycle
+	NewRepl    func(sets, ways int) Replacement
+}
+
+// HierarchyConfig describes the three-level hierarchy.
+type HierarchyConfig struct {
+	L1, L2, L3 LevelConfig
+}
+
+// DefaultHierarchyConfig returns Table 2's hierarchy: 64 KB 4-way L1
+// (tag/data 1/2, parallel), 512 KB 8-way L2 (2/8, parallel), 2 MB 16-way
+// L3 (10/24, serial lookup) with DRRIP.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1: LevelConfig{Size: 64 << 10, Ways: 4, HitLatency: 2, TagLatency: 1, NewRepl: NewLRU},
+		L2: LevelConfig{Size: 512 << 10, Ways: 8, HitLatency: 8, TagLatency: 2, NewRepl: NewLRU},
+		L3: LevelConfig{Size: 2 << 20, Ways: 16, HitLatency: 34, TagLatency: 10, NewRepl: NewDRRIP},
+	}
+}
+
+type mshrEntry struct {
+	dones []func()
+	write bool
+}
+
+// Hierarchy ties the three levels to a backend with MSHR-style merging of
+// concurrent misses to the same line.
+type Hierarchy struct {
+	engine  *sim.Engine
+	cfg     HierarchyConfig
+	L1      *Cache
+	L2      *Cache
+	L3      *Cache
+	backend Backend
+	mshr    map[arch.PhysAddr]*mshrEntry
+	pfBusy  map[arch.PhysAddr]*mshrEntry // in-flight prefetches (+ late demand waiters)
+	pf      MissObserver
+}
+
+// NewHierarchy builds the hierarchy over the given backend.
+func NewHierarchy(engine *sim.Engine, cfg HierarchyConfig, backend Backend) *Hierarchy {
+	return &Hierarchy{
+		engine:  engine,
+		cfg:     cfg,
+		L1:      New("l1", cfg.L1.Size, cfg.L1.Ways, cfg.L1.NewRepl),
+		L2:      New("l2", cfg.L2.Size, cfg.L2.Ways, cfg.L2.NewRepl),
+		L3:      New("l3", cfg.L3.Size, cfg.L3.Ways, cfg.L3.NewRepl),
+		backend: backend,
+		mshr:    make(map[arch.PhysAddr]*mshrEntry),
+		pfBusy:  make(map[arch.PhysAddr]*mshrEntry),
+	}
+}
+
+// SetPrefetcher attaches the L2-miss observer.
+func (h *Hierarchy) SetPrefetcher(pf MissObserver) { h.pf = pf }
+
+// Access performs a timed load (write=false) or store (write=true) of the
+// line containing addr; done fires when the access completes at L1.
+func (h *Hierarchy) Access(addr arch.PhysAddr, write bool, done func()) {
+	addr = addr.LineAligned()
+	if h.L1.Lookup(addr, write) {
+		h.engine.Stats.Inc("cache.l1.hits")
+		if done != nil {
+			h.engine.Schedule(h.cfg.L1.HitLatency, done)
+		}
+		return
+	}
+	h.engine.Stats.Inc("cache.l1.misses")
+	if e, ok := h.mshr[addr]; ok {
+		h.engine.Stats.Inc("cache.mshr_merges")
+		e.write = e.write || write
+		if done != nil {
+			e.dones = append(e.dones, done)
+		}
+		return
+	}
+	// A demand access racing an in-flight prefetch rides the prefetch's
+	// completion instead of issuing a second fetch. It still trains the
+	// prefetcher — a late prefetch means the stream must run further
+	// ahead (the feedback in "feedback-directed prefetching").
+	if e, ok := h.pfBusy[addr]; ok {
+		h.engine.Stats.Inc("cache.prefetch_demand_merges")
+		e.write = e.write || write
+		if done != nil {
+			e.dones = append(e.dones, done)
+		}
+		if h.pf != nil {
+			h.pf.OnMiss(addr)
+		}
+		return
+	}
+	e := &mshrEntry{write: write}
+	if done != nil {
+		e.dones = append(e.dones, done)
+	}
+	h.mshr[addr] = e
+	h.descend(addr)
+}
+
+func (h *Hierarchy) descend(addr arch.PhysAddr) {
+	if h.L2.Lookup(addr, false) {
+		h.engine.Stats.Inc("cache.l2.hits")
+		h.engine.Schedule(h.cfg.L1.TagLatency+h.cfg.L2.HitLatency, func() { h.complete(addr, 2) })
+		return
+	}
+	h.engine.Stats.Inc("cache.l2.misses")
+	if h.pf != nil {
+		h.pf.OnMiss(addr)
+	}
+	if h.L3.Lookup(addr, false) {
+		h.engine.Stats.Inc("cache.l3.hits")
+		lat := h.cfg.L1.TagLatency + h.cfg.L2.TagLatency + h.cfg.L3.HitLatency
+		h.engine.Schedule(lat, func() { h.complete(addr, 3) })
+		return
+	}
+	h.engine.Stats.Inc("cache.l3.misses")
+	lat := h.cfg.L1.TagLatency + h.cfg.L2.TagLatency + h.cfg.L3.TagLatency
+	h.engine.Schedule(lat, func() {
+		h.backend.Fetch(addr, func() { h.complete(addr, 4) })
+	})
+}
+
+// complete fires when data for addr arrives from the given level (2 = L2,
+// 3 = L3, 4 = memory). It fills the upper levels and releases waiters.
+func (h *Hierarchy) complete(addr arch.PhysAddr, fromLevel int) {
+	e := h.mshr[addr]
+	delete(h.mshr, addr)
+	if fromLevel >= 4 {
+		h.fill(h.L3, addr, false)
+	}
+	if fromLevel >= 3 {
+		h.fill(h.L2, addr, false)
+	}
+	h.fill(h.L1, addr, e != nil && e.write)
+	if e != nil {
+		for _, d := range e.dones {
+			d()
+		}
+	}
+}
+
+// fill installs a line into one level, routing any dirty victim downward.
+func (h *Hierarchy) fill(c *Cache, addr arch.PhysAddr, dirty bool) {
+	ev, evicted := c.Fill(addr, dirty)
+	if !evicted || !ev.Dirty {
+		return
+	}
+	switch c {
+	case h.L1:
+		h.engine.Stats.Inc("cache.l1.writebacks")
+		h.fill(h.L2, ev.Addr, true)
+	case h.L2:
+		h.engine.Stats.Inc("cache.l2.writebacks")
+		h.fill(h.L3, ev.Addr, true)
+	default:
+		h.engine.Stats.Inc("cache.l3.writebacks")
+		h.backend.WriteBack(ev.Addr)
+	}
+}
+
+// Prefetch brings the line into L3 only (no upper-level pollution), per
+// the Table 2 prefetcher. Present or in-flight lines are skipped (it
+// reports whether a new fetch was issued). Demand accesses that arrive
+// while the prefetch is in flight merge onto it and are filled upward on
+// completion.
+func (h *Hierarchy) Prefetch(addr arch.PhysAddr) bool {
+	addr = addr.LineAligned()
+	if h.L3.Present(addr) || h.L2.Present(addr) || h.L1.Present(addr) {
+		return false
+	}
+	if _, busy := h.pfBusy[addr]; busy {
+		return false
+	}
+	if _, demand := h.mshr[addr]; demand {
+		return false
+	}
+	e := &mshrEntry{}
+	h.pfBusy[addr] = e
+	h.engine.Stats.Inc("cache.prefetches")
+	h.backend.Fetch(addr, func() {
+		delete(h.pfBusy, addr)
+		h.fill(h.L3, addr, false)
+		if len(e.dones) > 0 {
+			h.fill(h.L2, addr, false)
+			h.fill(h.L1, addr, e.write)
+			for _, d := range e.dones {
+				d()
+			}
+		}
+	})
+	return true
+}
+
+// Install fills the line into L1 directly without a timed fetch (used for
+// the destination lines of a conventional COW page copy, which are fully
+// produced by the copy engine rather than demand-fetched).
+func (h *Hierarchy) Install(addr arch.PhysAddr, dirty bool) {
+	h.fill(h.L1, addr.LineAligned(), dirty)
+}
+
+// PrefetchInFlight reports whether addr is currently being prefetched.
+// Backends use it to tell prefetch fills apart from demand fetches.
+func (h *Hierarchy) PrefetchInFlight(addr arch.PhysAddr) bool {
+	_, ok := h.pfBusy[addr.LineAligned()]
+	return ok
+}
+
+// Present reports whether any level holds the line.
+func (h *Hierarchy) Present(addr arch.PhysAddr) bool {
+	addr = addr.LineAligned()
+	return h.L1.Present(addr) || h.L2.Present(addr) || h.L3.Present(addr)
+}
+
+// Retag renames a line (overlaying-write step 1, §4.3.3) in every level
+// that holds it; the data block stays put, only tags change. It returns
+// whether any level held the line.
+func (h *Hierarchy) Retag(oldAddr, newAddr arch.PhysAddr) bool {
+	oldAddr, newAddr = oldAddr.LineAligned(), newAddr.LineAligned()
+	any := false
+	for _, c := range []*Cache{h.L1, h.L2, h.L3} {
+		moved, ev, evicted := c.Retag(oldAddr, newAddr)
+		any = any || moved
+		if evicted && ev.Dirty {
+			switch c {
+			case h.L1:
+				h.fill(h.L2, ev.Addr, true)
+			case h.L2:
+				h.fill(h.L3, ev.Addr, true)
+			default:
+				h.backend.WriteBack(ev.Addr)
+			}
+		}
+	}
+	return any
+}
+
+// Invalidate drops the line from every level, reporting whether any copy
+// was dirty (promotion actions use this; functional data lives in mem).
+func (h *Hierarchy) Invalidate(addr arch.PhysAddr) (present, dirty bool) {
+	addr = addr.LineAligned()
+	for _, c := range []*Cache{h.L1, h.L2, h.L3} {
+		p, d := c.Invalidate(addr)
+		present = present || p
+		dirty = dirty || d
+	}
+	return present, dirty
+}
+
+// OutstandingMisses reports the number of in-flight demand misses.
+func (h *Hierarchy) OutstandingMisses() int { return len(h.mshr) }

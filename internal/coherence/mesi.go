@@ -1,0 +1,400 @@
+// Package coherence implements a MESI invalidation protocol over
+// per-core private L1 caches with a directory at the shared-L2 boundary.
+// The paper's overlaying write rides exactly this network: the
+// overlaying-read-exclusive message (§4.3.3) is an ordinary
+// read-for-ownership that additionally carries a single-line OBitVector
+// update to every sharer's TLB, which is why it avoids a full shootdown.
+//
+// The protocol here is the substrate for the multi-core experiments
+// (both processes running after a fork); the single-core figures use the
+// plain hierarchy in internal/cache.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// State is a MESI line state.
+type State uint8
+
+const (
+	// Invalid: not present.
+	Invalid State = iota
+	// Shared: clean, possibly in several L1s.
+	Shared
+	// Exclusive: clean, only this L1.
+	Exclusive
+	// Modified: dirty, only this L1.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// LineListener observes coherence events for a line (the overlay
+// framework registers one to deliver OBitVector updates alongside
+// overlaying-read-exclusive requests).
+type LineListener interface {
+	// OnReadExclusive fires when a core gains exclusive ownership of the
+	// line, after all other copies have been invalidated.
+	OnReadExclusive(core int, addr arch.PhysAddr)
+}
+
+// Config sizes the private caches and protocol latencies.
+type Config struct {
+	Cores      int
+	L1Size     int
+	L1Ways     int
+	L1Hit      sim.Cycle // private-cache hit latency
+	DirLookup  sim.Cycle // directory access at the shared boundary
+	Invalidate sim.Cycle // invalidation round-trip to one sharer
+	Forward    sim.Cycle // cache-to-cache transfer of a Modified line
+	SharedHit  sim.Cycle // latency of the shared level below the directory
+}
+
+// DefaultConfig returns a 4-core arrangement matching the Table 2 L1.
+func DefaultConfig() Config {
+	return Config{
+		Cores:      4,
+		L1Size:     64 << 10,
+		L1Ways:     4,
+		L1Hit:      2,
+		DirLookup:  10,
+		Invalidate: 20,
+		Forward:    30,
+		SharedHit:  34,
+	}
+}
+
+// Memory is what sits below the coherent domain.
+type Memory interface {
+	Fetch(addr arch.PhysAddr, done func())
+	WriteBack(addr arch.PhysAddr)
+}
+
+type dirEntry struct {
+	sharers uint64 // bitmap of cores with a copy
+	owner   int    // core holding M/E, -1 if none
+}
+
+// Domain is the coherent multi-core cache domain.
+type Domain struct {
+	engine *sim.Engine
+	cfg    Config
+	l1     []*cache.Cache
+	state  []map[arch.PhysAddr]State // per-core line states
+	dir    map[arch.PhysAddr]*dirEntry
+	mem    Memory
+
+	// The directory serialises transactions per line, exactly as real
+	// directories do: a second request to a busy line queues behind the
+	// first. Without this, in-flight installs and invalidations interleave
+	// and break the single-writer invariant.
+	busy map[arch.PhysAddr][]pendingOp
+
+	listener LineListener
+}
+
+// New builds a coherent domain of cfg.Cores private L1s over mem.
+func New(engine *sim.Engine, cfg Config, mem Memory) *Domain {
+	if cfg.Cores < 1 || cfg.Cores > 64 {
+		panic("coherence: cores must be 1..64")
+	}
+	d := &Domain{
+		engine: engine,
+		cfg:    cfg,
+		mem:    mem,
+		dir:    make(map[arch.PhysAddr]*dirEntry),
+		busy:   make(map[arch.PhysAddr][]pendingOp),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		d.l1 = append(d.l1, cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, cache.NewLRU))
+		d.state = append(d.state, make(map[arch.PhysAddr]State))
+	}
+	return d
+}
+
+// SetListener registers the coherence-event observer.
+func (d *Domain) SetListener(l LineListener) { d.listener = l }
+
+// Cores returns the number of cores in the domain.
+func (d *Domain) Cores() int { return d.cfg.Cores }
+
+// StateOf reports core's MESI state for the line (test/debug aid).
+func (d *Domain) StateOf(core int, addr arch.PhysAddr) State {
+	return d.state[core][addr.LineAligned()]
+}
+
+func (d *Domain) entry(addr arch.PhysAddr) *dirEntry {
+	e := d.dir[addr]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		d.dir[addr] = e
+	}
+	return e
+}
+
+// pendingOp is a directory transaction awaiting its line.
+type pendingOp func(release func())
+
+// acquire serialises transactions per line: op runs immediately if the
+// line is idle, else it queues behind the in-flight transaction.
+func (d *Domain) acquire(addr arch.PhysAddr, op pendingOp) {
+	if _, inFlight := d.busy[addr]; inFlight {
+		d.busy[addr] = append(d.busy[addr], op)
+		d.engine.Stats.Inc("coherence.line_conflicts")
+		return
+	}
+	d.busy[addr] = nil
+	d.run(addr, op)
+}
+
+func (d *Domain) run(addr arch.PhysAddr, op pendingOp) {
+	op(func() {
+		q := d.busy[addr]
+		if len(q) == 0 {
+			delete(d.busy, addr)
+			return
+		}
+		next := q[0]
+		d.busy[addr] = q[1:]
+		d.engine.Schedule(0, func() { d.run(addr, next) })
+	})
+}
+
+// Read performs a coherent load by `core`; done fires at completion.
+func (d *Domain) Read(core int, addr arch.PhysAddr, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	addr = addr.LineAligned()
+	d.acquire(addr, func(release func()) {
+		d.doRead(core, addr, func() { release(); done() })
+	})
+}
+
+func (d *Domain) doRead(core int, addr arch.PhysAddr, done func()) {
+	if s := d.state[core][addr]; s != Invalid {
+		d.engine.Stats.Inc("coherence.l1_hits")
+		d.touch(core, addr, false)
+		d.engine.Schedule(d.cfg.L1Hit, done)
+		return
+	}
+	d.engine.Stats.Inc("coherence.read_misses")
+	e := d.entry(addr)
+	lat := d.cfg.L1Hit + d.cfg.DirLookup
+	if e.owner >= 0 && e.owner != core {
+		// Modified or Exclusive elsewhere: fetch cache-to-cache; the owner
+		// downgrades to Shared (writing back if Modified).
+		owner := e.owner
+		if d.state[owner][addr] == Modified {
+			d.mem.WriteBack(addr)
+			d.engine.Stats.Inc("coherence.owner_writebacks")
+		}
+		d.setState(owner, addr, Shared)
+		e.owner = -1
+		e.sharers |= 1 << uint(owner)
+		lat += d.cfg.Forward
+		d.finishRead(core, addr, e, lat, done)
+		return
+	}
+	if e.sharers != 0 {
+		// Clean copies exist below/beside: serve from the shared level.
+		lat += d.cfg.SharedHit
+		d.finishRead(core, addr, e, lat, done)
+		return
+	}
+	// Nobody has it: fetch from memory, first reader gets Exclusive.
+	d.engine.Schedule(lat, func() {
+		d.mem.Fetch(addr, func() {
+			d.install(core, addr, Exclusive)
+			e.owner = core
+			done()
+		})
+	})
+}
+
+func (d *Domain) finishRead(core int, addr arch.PhysAddr, e *dirEntry, lat sim.Cycle, done func()) {
+	d.engine.Schedule(lat, func() {
+		d.install(core, addr, Shared)
+		e.sharers |= 1 << uint(core)
+		done()
+	})
+}
+
+// Write performs a coherent store by `core` (read-for-ownership +
+// upgrade); done fires when the core owns the line in Modified state.
+func (d *Domain) Write(core int, addr arch.PhysAddr, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	addr = addr.LineAligned()
+	d.acquire(addr, func(release func()) {
+		d.doWrite(core, addr, func() { release(); done() })
+	})
+}
+
+func (d *Domain) doWrite(core int, addr arch.PhysAddr, done func()) {
+	switch d.state[core][addr] {
+	case Modified:
+		d.engine.Stats.Inc("coherence.l1_hits")
+		d.touch(core, addr, true)
+		d.engine.Schedule(d.cfg.L1Hit, done)
+		return
+	case Exclusive:
+		// Silent upgrade E→M.
+		d.engine.Stats.Inc("coherence.l1_hits")
+		d.setState(core, addr, Modified)
+		d.touch(core, addr, true)
+		d.engine.Schedule(d.cfg.L1Hit, done)
+		return
+	}
+	d.engine.Stats.Inc("coherence.write_misses")
+	d.readExclusive(core, addr, done)
+}
+
+// ReadExclusive issues the overlaying-read-exclusive request (§4.3.3):
+// it gains ownership of the line and notifies the listener once every
+// other copy is invalidated — the hook the overlay framework uses to
+// update all TLBs' OBitVectors without a shootdown.
+func (d *Domain) ReadExclusive(core int, addr arch.PhysAddr, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	addr = addr.LineAligned()
+	d.engine.Stats.Inc("coherence.overlaying_read_exclusive")
+	d.acquire(addr, func(release func()) {
+		d.readExclusive(core, addr, func() { release(); done() })
+	})
+}
+
+func (d *Domain) readExclusive(core int, addr arch.PhysAddr, done func()) {
+	e := d.entry(addr)
+	lat := d.cfg.L1Hit + d.cfg.DirLookup
+
+	// Invalidate every other copy; each sharer costs one round.
+	if e.owner >= 0 && e.owner != core {
+		if d.state[e.owner][addr] == Modified {
+			d.mem.WriteBack(addr)
+			d.engine.Stats.Inc("coherence.owner_writebacks")
+		}
+		d.setState(e.owner, addr, Invalid)
+		lat += d.cfg.Forward
+		e.owner = -1
+	}
+	invalidated := 0
+	for c := 0; c < d.cfg.Cores; c++ {
+		if c != core && e.sharers&(1<<uint(c)) != 0 {
+			d.setState(c, addr, Invalid)
+			invalidated++
+		}
+	}
+	if invalidated > 0 {
+		lat += d.cfg.Invalidate // rounds overlap; one exposure
+		d.engine.Stats.Add("coherence.invalidations", uint64(invalidated))
+	}
+	e.sharers = 0
+
+	needData := d.state[core][addr] == Invalid
+	finish := func() {
+		d.install(core, addr, Modified)
+		e.owner = core
+		e.sharers = 0
+		if d.listener != nil {
+			d.listener.OnReadExclusive(core, addr)
+		}
+		done()
+	}
+	if needData {
+		d.engine.Schedule(lat, func() { d.mem.Fetch(addr, finish) })
+	} else {
+		d.engine.Schedule(lat, finish)
+	}
+}
+
+// install places the line in core's L1 with the given state, handling
+// evictions of displaced lines (write back Modified victims).
+func (d *Domain) install(core int, addr arch.PhysAddr, s State) {
+	ev, evicted := d.l1[core].Fill(addr, s == Modified)
+	if evicted {
+		d.dropLine(core, ev.Addr, ev.Dirty)
+	}
+	d.setState(core, addr, s)
+}
+
+// touch refreshes LRU state for a hit.
+func (d *Domain) touch(core int, addr arch.PhysAddr, write bool) {
+	d.l1[core].Lookup(addr, write)
+}
+
+// dropLine handles a capacity eviction from core's L1.
+func (d *Domain) dropLine(core int, addr arch.PhysAddr, dirty bool) {
+	if dirty {
+		d.mem.WriteBack(addr)
+	}
+	st := d.state[core][addr]
+	delete(d.state[core], addr)
+	e := d.dir[addr]
+	if e == nil {
+		return
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.owner == core {
+		e.owner = -1
+	}
+	_ = st
+}
+
+// setState updates both the state map and, for Invalid, the L1 tags.
+func (d *Domain) setState(core int, addr arch.PhysAddr, s State) {
+	if s == Invalid {
+		delete(d.state[core], addr)
+		d.l1[core].Invalidate(addr)
+		return
+	}
+	d.state[core][addr] = s
+}
+
+// CheckInvariants verifies the single-writer/multi-reader property for
+// every tracked line; tests call it after random operation storms.
+func (d *Domain) CheckInvariants() error {
+	lines := map[arch.PhysAddr]bool{}
+	for c := 0; c < d.cfg.Cores; c++ {
+		for a := range d.state[c] {
+			lines[a] = true
+		}
+	}
+	for a := range lines {
+		owners, sharers := 0, 0
+		for c := 0; c < d.cfg.Cores; c++ {
+			switch d.state[c][a] {
+			case Modified, Exclusive:
+				owners++
+			case Shared:
+				sharers++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("coherence: line %#x has %d owners", uint64(a), owners)
+		}
+		if owners == 1 && sharers > 0 {
+			return fmt.Errorf("coherence: line %#x owned and shared", uint64(a))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/oms"
+	"repro/internal/omt"
+	"repro/internal/vm"
+)
+
+// This file implements the framework's functional access semantics
+// (Figure 2): a cache line present in a page's overlay is accessed from
+// the overlay; every other line is accessed from the regular physical
+// page. The structural helpers here are shared with the timed path in
+// timed.go, so timed and functional accesses observe identical state.
+
+// lineLoc describes where one cache line's bytes live.
+type lineLoc struct {
+	cacheAddr arch.PhysAddr // address as tagged in the processor caches
+	ppn       arch.PPN      // main-memory frame holding the bytes
+	off       uint64        // byte offset of the line within that frame
+	overlay   bool
+}
+
+func physLineLoc(ppn arch.PPN, line int) lineLoc {
+	off := uint64(line) << arch.LineShift
+	return lineLoc{cacheAddr: arch.PhysAddrOf(ppn, off), ppn: ppn, off: off}
+}
+
+func (f *Framework) overlayLineLoc(opn arch.OPN, entry *omt.Entry, line int) (lineLoc, error) {
+	slot, ok := f.OMS.LocateLine(entry.SegBase, line)
+	if !ok {
+		return lineLoc{}, fmt.Errorf("core: overlay line %d of opn %#x has no slot", line, uint64(opn))
+	}
+	return lineLoc{
+		cacheAddr: opn.LineAddr(line),
+		ppn:       arch.PPN(slot.Page()),
+		off:       uint64(slot) & arch.PageMask,
+		overlay:   true,
+	}, nil
+}
+
+// resolveRead locates the bytes a load of (pid, vpn, line) must return.
+func (f *Framework) resolveRead(proc *vm.Process, vpn arch.VPN, line int) (lineLoc, error) {
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return lineLoc{}, fmt.Errorf("core: read fault at pid %d vpn %#x", proc.PID, uint64(vpn))
+	}
+	if pte.Overlay && !pte.Shadow {
+		opn := arch.OverlayPage(proc.PID, vpn)
+		entry := f.OMTTable.Get(opn)
+		if entry.OBits.Has(line) {
+			return f.overlayLineLoc(opn, f.OMTTable.Ref(opn), line)
+		}
+	}
+	return physLineLoc(pte.PPN, line), nil
+}
+
+// writeKind classifies what a store to a line required (§4.3).
+type writeKind int
+
+const (
+	// writePlain hits a writable page with no overlay involvement.
+	writePlain writeKind = iota
+	// writeSimpleOverlay updates a line already in the overlay (§4.3.2).
+	writeSimpleOverlay
+	// writeOverlaying remaps the line into the overlay (§4.3.3).
+	writeOverlaying
+	// writeCOWCopy is the conventional copy-on-write resolution: full page
+	// copy plus remap plus TLB shootdown (§2.2).
+	writeCOWCopy
+	// writeCOWReuse is a conventional COW fault where this process was the
+	// last sharer, so only permissions change.
+	writeCOWReuse
+)
+
+// writeResolution reports where a store landed and what it cost.
+type writeResolution struct {
+	kind writeKind
+	loc  lineLoc
+	// srcCacheAddr is set for writeOverlaying (the regular physical line
+	// the data was remapped from) and writeCOWCopy (line 0 of the source
+	// page; the timed path reads all 64 lines of that page).
+	srcCacheAddr arch.PhysAddr
+}
+
+// resolveWrite performs the structural state changes a store to
+// (proc, vpn, line) requires — overlay creation, OMT/TLB updates, or a
+// conventional COW page copy — and reports what happened. It does not
+// write the payload bytes.
+func (f *Framework) resolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writeResolution, error) {
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return writeResolution{}, fmt.Errorf("core: write fault at pid %d vpn %#x", proc.PID, uint64(vpn))
+	}
+	opn := arch.OverlayPage(proc.PID, vpn)
+
+	if pte.Overlay && !pte.Shadow {
+		entry := f.OMTTable.Ref(opn)
+		if entry.OBits.Has(line) {
+			loc, err := f.overlayLineLoc(opn, entry, line)
+			if err != nil {
+				return writeResolution{}, err
+			}
+			f.Engine.Stats.Inc("core.simple_overlay_writes")
+			return writeResolution{kind: writeSimpleOverlay, loc: loc}, nil
+		}
+		if pte.COW || !pte.Writable {
+			// Overlaying write: copy the line into a fresh overlay slot and
+			// remap it with a single-line coherence update.
+			src := physLineLoc(pte.PPN, line)
+			loc, err := f.overlayInsert(proc.PID, vpn, entry, line, &pte.PPN)
+			if err != nil {
+				return writeResolution{}, err
+			}
+			f.Engine.Stats.Inc("core.overlaying_writes")
+			return writeResolution{kind: writeOverlaying, loc: loc, srcCacheAddr: src.cacheAddr}, nil
+		}
+		// Overlay-enabled but writable and line not in overlay: plain.
+		f.Engine.Stats.Inc("core.plain_writes")
+		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
+	}
+
+	if pte.Writable {
+		f.Engine.Stats.Inc("core.plain_writes")
+		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
+	}
+	if pte.COW {
+		oldPPN := pte.PPN
+		_, copied, err := f.VM.BreakCOW(proc, vpn)
+		if err != nil {
+			return writeResolution{}, err
+		}
+		pte = proc.Table.Lookup(vpn)
+		res := writeResolution{
+			loc:          physLineLoc(pte.PPN, line),
+			srcCacheAddr: arch.PhysAddrOf(oldPPN, 0),
+		}
+		if copied {
+			res.kind = writeCOWCopy
+			f.Engine.Stats.Inc("core.cow_page_copies")
+		} else {
+			res.kind = writeCOWReuse
+			f.Engine.Stats.Inc("core.cow_reuses")
+		}
+		return res, nil
+	}
+	return writeResolution{}, fmt.Errorf("core: protection fault: write to read-only pid %d vpn %#x", proc.PID, uint64(vpn))
+}
+
+// overlayInsert adds `line` to the page's overlay: it allocates or grows
+// the Overlay Memory Store segment, optionally initialises the slot from
+// the regular physical page, sets the OBitVector bit in the OMT, and
+// broadcasts the single-line TLB update. Idempotent for present lines.
+func (f *Framework) overlayInsert(pid arch.PID, vpn arch.VPN, entry *omt.Entry, line int, initFrom *arch.PPN) (lineLoc, error) {
+	opn := arch.OverlayPage(pid, vpn)
+	if entry.OBits.Has(line) {
+		return f.overlayLineLoc(opn, entry, line)
+	}
+	if entry.SegBase == 0 {
+		base, err := f.OMS.AllocSegment(oms.ClassFor(1))
+		if err != nil {
+			return lineLoc{}, fmt.Errorf("core: overlay alloc: %w", err)
+		}
+		entry.SegBase = base
+	}
+	slot, full := f.OMS.InsertLine(entry.SegBase, line)
+	if full {
+		newBase, err := f.OMS.Migrate(entry.SegBase, entry.OBits)
+		if err != nil {
+			return lineLoc{}, fmt.Errorf("core: overlay migrate: %w", err)
+		}
+		entry.SegBase = newBase
+		slot, full = f.OMS.InsertLine(entry.SegBase, line)
+		if full {
+			return lineLoc{}, fmt.Errorf("core: segment still full after migration")
+		}
+	}
+	if initFrom != nil {
+		var buf [arch.LineSize]byte
+		f.Mem.ReadLine(*initFrom, line, buf[:])
+		f.OMS.WriteLineData(slot, buf[:])
+	}
+	entry.OBits = entry.OBits.Set(line)
+	f.broadcastLineUpdate(pid, vpn, line, true)
+	return lineLoc{
+		cacheAddr: opn.LineAddr(line),
+		ppn:       arch.PPN(slot.Page()),
+		off:       uint64(slot) & arch.PageMask,
+		overlay:   true,
+	}, nil
+}
+
+// Load copies len(buf) bytes at (pid, va) into buf under overlay
+// semantics. It is the functional (untimed) read path.
+func (f *Framework) Load(pid arch.PID, va arch.VirtAddr, buf []byte) error {
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		return fmt.Errorf("core: no process %d", pid)
+	}
+	for n := 0; n < len(buf); {
+		a := va + arch.VirtAddr(n)
+		loc, err := f.resolveRead(proc, a.Page(), a.Line())
+		if err != nil {
+			return err
+		}
+		span := int(arch.LineSize - a.LineOffset())
+		if span > len(buf)-n {
+			span = len(buf) - n
+		}
+		for i := 0; i < span; i++ {
+			buf[n+i] = f.Mem.Read(loc.ppn, loc.off+a.LineOffset()+uint64(i))
+		}
+		n += span
+	}
+	return nil
+}
+
+// Store writes data at (pid, va) under overlay semantics, creating
+// overlays or breaking COW exactly as the hardware/OS would. It is the
+// functional (untimed) write path.
+func (f *Framework) Store(pid arch.PID, va arch.VirtAddr, data []byte) error {
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		return fmt.Errorf("core: no process %d", pid)
+	}
+	for n := 0; n < len(data); {
+		a := va + arch.VirtAddr(n)
+		res, err := f.resolveWrite(proc, a.Page(), a.Line())
+		if err != nil {
+			return err
+		}
+		span := int(arch.LineSize - a.LineOffset())
+		if span > len(data)-n {
+			span = len(data) - n
+		}
+		if res.loc.ppn == mem.ZeroPPN {
+			return fmt.Errorf("core: write resolved to the zero page at %#x", uint64(a))
+		}
+		for i := 0; i < span; i++ {
+			f.Mem.Write(res.loc.ppn, res.loc.off+a.LineOffset()+uint64(i), data[n+i])
+		}
+		n += span
+	}
+	return nil
+}
+
+// Load64 and Store64 are word-sized conveniences used heavily by the
+// sparse-matrix engine.
+func (f *Framework) Load64(pid arch.PID, va arch.VirtAddr) (uint64, error) {
+	var buf [8]byte
+	if err := f.Load(pid, va, buf[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := uint(0); i < 8; i++ {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (f *Framework) Store64(pid arch.PID, va arch.VirtAddr, v uint64) error {
+	var buf [8]byte
+	for i := uint(0); i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return f.Store(pid, va, buf[:])
+}
+
+// Fork clones the process with either conventional copy-on-write
+// (overlayMode=false) or overlay-on-write (overlayMode=true) semantics,
+// flushing the parent's now-stale TLB entries. Because no two virtual
+// pages may share an overlay (§4.1), any overlay lines the parent already
+// has are copied into per-child overlays so the child observes the
+// parent's full fork-time contents.
+func (f *Framework) Fork(parent *vm.Process, overlayMode bool) *vm.Process {
+	child := f.VM.Fork(parent, overlayMode)
+	var copyErr error
+	parent.Table.Range(func(vpn arch.VPN, pte *vm.PTE) bool {
+		srcOPN := arch.OverlayPage(parent.PID, vpn)
+		src := f.OMTTable.Get(srcOPN)
+		if src.OBits.Empty() {
+			return true
+		}
+		dstEntry := f.OMTTable.Ref(arch.OverlayPage(child.PID, vpn))
+		var buf [arch.LineSize]byte
+		for _, line := range src.OBits.Lines() {
+			slot, ok := f.OMS.LocateLine(src.SegBase, line)
+			if !ok {
+				continue
+			}
+			loc, err := f.overlayInsert(child.PID, vpn, dstEntry, line, nil)
+			if err != nil {
+				copyErr = err
+				return false
+			}
+			f.OMS.ReadLineData(slot, buf[:])
+			f.Mem.WriteLine(loc.ppn, int(loc.off>>arch.LineShift), buf[:])
+		}
+		return true
+	})
+	if copyErr != nil {
+		panic(fmt.Sprintf("core: fork overlay copy: %v", copyErr))
+	}
+	for _, p := range f.ports {
+		p.TLB.FlushPID(parent.PID)
+	}
+	return child
+}
+
+// Exit tears down a process: every page overlay is released, then the
+// address space itself.
+func (f *Framework) Exit(proc *vm.Process) {
+	proc.Table.Range(func(vpn arch.VPN, pte *vm.PTE) bool {
+		if !f.OMTTable.Get(arch.OverlayPage(proc.PID, vpn)).Empty() {
+			f.clearOverlay(proc.PID, vpn)
+		}
+		return true
+	})
+	f.VM.Exit(proc)
+	for _, p := range f.ports {
+		p.TLB.FlushPID(proc.PID)
+	}
+}
+
+// OverlayInfo reports a page's overlay state: its OBitVector and the
+// bytes of Overlay Memory Store backing it (0 if none).
+func (f *Framework) OverlayInfo(pid arch.PID, vpn arch.VPN) (arch.OBitVector, int) {
+	entry := f.OMTTable.Get(arch.OverlayPage(pid, vpn))
+	bytes := 0
+	if entry.SegBase != 0 {
+		if class, ok := f.OMS.SegmentClass(entry.SegBase); ok {
+			bytes = oms.ClassBytes(class)
+		}
+	}
+	return entry.OBits, bytes
+}

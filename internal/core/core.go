@@ -1,0 +1,347 @@
+// Package core implements the paper's primary contribution: the page
+// overlay framework (§3–§4). It ties the unchanged virtual-memory
+// substrate (internal/vm) to the overlay machinery — the direct
+// virtual-to-overlay mapping, OBitVector-extended TLBs, the Overlay
+// Mapping Table with its controller cache, and the compact Overlay Memory
+// Store — and implements the three memory-access operations of §4.3
+// (read, simple write, overlaying write), the promotion actions of
+// §4.3.4, and the coherence-based single-line TLB update of §4.3.3.
+//
+// The framework is both functional and timed. Functional state (page and
+// overlay bytes, OBitVectors, segment metadata) is updated eagerly so
+// every technique built on top can be checked for value-correctness;
+// timing flows through the TLB → L1 → L2 → L3 → DRAM chain with the
+// Overlay Memory Store touched only on hierarchy misses and write-backs.
+// One deliberate deviation from the paper is documented in DESIGN.md:
+// OMS slots are allocated eagerly in zero simulated time rather than on
+// the first dirty write-back; the paper's lazy allocation is a timing
+// optimisation that our model preserves by charging no cycles for
+// allocation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/oms"
+	"repro/internal/omt"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+// Config collects every knob of the simulated system (Table 2 defaults).
+type Config struct {
+	MemoryPages      int // physical frames backing main memory
+	OMSInitialFrames int // frames granted to the Overlay Memory Store at boot
+
+	TLB      tlb.Config
+	Cache    cache.HierarchyConfig
+	DRAM     dram.Config
+	OMTCache omt.CacheConfig
+	Prefetch prefetch.Config
+
+	// OverlayRemapLatency is the critical-path cost of an overlaying
+	// write's remap: the cache-tag update plus the overlaying-read-
+	// exclusive coherence round (§4.3.3). It replaces the full TLB
+	// shootdown a conventional remap would need.
+	OverlayRemapLatency sim.Cycle
+	// COWTrapLatency is the OS entry/exit overhead of a conventional
+	// copy-on-write page fault.
+	COWTrapLatency sim.Cycle
+}
+
+// DefaultConfig returns the Table 2 system with 64 Ki frames (256 MB).
+func DefaultConfig() Config {
+	return Config{
+		MemoryPages:         64 << 10,
+		OMSInitialFrames:    8,
+		TLB:                 tlb.DefaultConfig(),
+		Cache:               cache.DefaultHierarchyConfig(),
+		DRAM:                dram.DefaultConfig(),
+		OMTCache:            omt.DefaultCacheConfig(),
+		Prefetch:            prefetch.DefaultConfig(),
+		OverlayRemapLatency: 50,
+		COWTrapLatency:      1500,
+	}
+}
+
+// Framework is the assembled overlay-enabled memory system.
+type Framework struct {
+	Engine *sim.Engine
+	Config Config
+
+	Mem      *mem.Memory
+	VM       *vm.Manager
+	OMS      *oms.Store
+	OMTTable *omt.Table
+	OMTCache *omt.Cache
+	DRAM     *dram.Controller
+	Hier     *cache.Hierarchy
+	Prefetch *prefetch.Prefetcher
+
+	ports []*Port
+}
+
+// New assembles a framework. It panics only on programmer error; resource
+// exhaustion is reported as an error.
+func New(cfg Config) (*Framework, error) {
+	engine := sim.NewEngine()
+	memory := mem.New(cfg.MemoryPages)
+	manager := vm.NewManager(memory)
+	store, err := oms.New(memory, &engine.Stats, cfg.OMSInitialFrames)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	f := &Framework{
+		Engine:   engine,
+		Config:   cfg,
+		Mem:      memory,
+		VM:       manager,
+		OMS:      store,
+		OMTTable: &omt.Table{},
+	}
+	f.OMTCache = omt.NewCache(cfg.OMTCache, f.OMTTable, &engine.Stats)
+	f.DRAM = dram.New(engine, cfg.DRAM)
+	f.Hier = cache.NewHierarchy(engine, cfg.Cache, (*backend)(f))
+	f.Prefetch = prefetch.New(cfg.Prefetch, f.Hier, &engine.Stats)
+	f.Hier.SetPrefetcher((*missDispatcher)(f))
+	return f, nil
+}
+
+// missDispatcher feeds L2 demand misses to the stream prefetcher (for
+// both regular and overlay addresses — overlay lines form streams in the
+// Overlay Address Space just as well) and, for overlay misses, primes the
+// memory controller's OMT cache with the next overlay-bearing page so
+// page-sequential overlay traffic never exposes the 1000-cycle OMT walk
+// on demand. The OBitVector-walking prefetcher of the overlay computation
+// model is driven from Port.ReadOverlay instead (§5.2 accesses only).
+type missDispatcher Framework
+
+func (d *missDispatcher) OnMiss(addr arch.PhysAddr) {
+	f := (*Framework)(d)
+	if !addr.IsOverlay() {
+		f.Prefetch.OnMiss(addr)
+		return
+	}
+	// Overlay miss: the controller holds the page's OBitVector, so it
+	// feeds the stream prefetcher only when the overlay is dense enough
+	// for unit-stride streams to be real lines — on sparse overlays a
+	// blind stream would fetch mostly absent (zero-fill) lines and
+	// pollute the L3. Sparse overlays are covered by the OBitVector
+	// walker on the §5.2 path instead.
+	opn := arch.OverlayPageOf(addr)
+	if f.OMTTable.Get(opn).OBits.Count() >= arch.LinesPerPage*3/4 {
+		f.Prefetch.OnMiss(addr)
+	}
+	f.primeNextOMTEntry(opn)
+}
+
+// omtPrimeScan bounds how far the controller looks ahead for the next
+// overlay-bearing page when priming its OMT cache (the hierarchical OMT
+// makes skipping dead entries cheap).
+const omtPrimeScan = 128
+
+func (f *Framework) primeNextOMTEntry(opn arch.OPN) {
+	pid, vpn := arch.SplitOverlayPage(opn)
+	for i := arch.VPN(1); i <= omtPrimeScan; i++ {
+		next := arch.OverlayPage(pid, vpn+i)
+		if f.OMTTable.Get(next).Empty() {
+			continue
+		}
+		if !f.OMTCache.Contains(next) {
+			f.OMTCache.Lookup(next)
+		}
+		break
+	}
+}
+
+// MustNew is New for tests and examples that treat failure as fatal.
+func MustNew(cfg Config) *Framework {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Port is one CPU's view of the memory system: its own two-level TLB in
+// front of the shared hierarchy.
+type Port struct {
+	f   *Framework
+	TLB *tlb.TLB
+
+	// lastOverlayOPN tracks the overlay page the port's streaming engine
+	// is currently iterating; the OMT-cache charge of ReadOverlay applies
+	// only when crossing into a new page (the OBitVector is read once per
+	// page, not per line).
+	lastOverlayOPN arch.OPN
+
+	// The overlay computation model's prefetch cursor: the walker resumes
+	// from where it last stopped instead of rescanning the OBitVector on
+	// every access, and keeps at most Prefetch.Distance fresh lines in
+	// flight ahead of demand.
+	pfCur   arch.OPN
+	pfLine  int
+	pfAhead int
+}
+
+// extendOverlayPrefetch advances the overlay walk's prefetch cursor from
+// the demand point (opn, line), issuing prefetches for upcoming overlay
+// lines (crossing page boundaries via the OMT) until Prefetch.Distance
+// fresh lines are in flight.
+func (p *Port) extendOverlayPrefetch(opn arch.OPN, line int) {
+	f := p.f
+	if f.Config.Prefetch.Distance <= 0 {
+		return
+	}
+	// The walker knows every line it will visit (the OBitVector is the
+	// itinerary), so it runs further ahead than the blind stream
+	// prefetcher's Table 2 distance.
+	distance := f.Config.Prefetch.Distance * 3
+	if p.pfAhead > 0 {
+		p.pfAhead-- // this demand consumed one prefetched line
+	}
+	// If demand caught up with (or jumped past) the cursor, restart there.
+	if opn > p.pfCur || (opn == p.pfCur && line >= p.pfLine) {
+		p.pfCur, p.pfLine, p.pfAhead = opn, line, 0
+	}
+	want := distance - p.pfAhead
+	if want <= 0 {
+		return
+	}
+	issued := 0
+	emptyRun := 0
+	cur, l := p.pfCur, p.pfLine
+	for hop := 0; hop < 64 && issued < want && emptyRun < 16; hop++ {
+		bits := f.OMTTable.Get(cur).OBits
+		if bits.Empty() {
+			emptyRun++
+		} else {
+			emptyRun = 0
+			for l++; l < arch.LinesPerPage; l++ {
+				if bits.Has(l) && f.Hier.Prefetch(cur.LineAddr(l)) {
+					issued++
+					if issued >= want {
+						p.pfCur, p.pfLine, p.pfAhead = cur, l, p.pfAhead+issued
+						return
+					}
+				}
+			}
+		}
+		pid, vpn := arch.SplitOverlayPage(cur)
+		cur = arch.OverlayPage(pid, vpn+1)
+		l = -1
+	}
+	p.pfCur, p.pfLine, p.pfAhead = cur, l, p.pfAhead+issued
+}
+
+// NewPort creates a CPU port. All ports observe overlaying-read-exclusive
+// coherence messages (single-line OBitVector updates).
+func (f *Framework) NewPort() *Port {
+	p := &Port{f: f, TLB: tlb.New(f.Config.TLB, (*walker)(f), &f.Engine.Stats)}
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// walker adapts the framework to the TLB's page-walk interface: the
+// 1000-cycle walk reads the page tables and, for overlay-enabled pages,
+// the OMT entry that supplies the OBitVector.
+type walker Framework
+
+func (w *walker) Walk(pid arch.PID, vpn arch.VPN) (tlb.Entry, bool) {
+	f := (*Framework)(w)
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		return tlb.Entry{}, false
+	}
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return tlb.Entry{}, false
+	}
+	e := tlb.Entry{
+		PPN:        pte.PPN,
+		COW:        pte.COW,
+		Writable:   pte.Writable,
+		HasOverlay: pte.Overlay,
+	}
+	if pte.Overlay || pte.Shadow {
+		e.OBits = f.OMTTable.Get(arch.OverlayPage(pid, vpn)).OBits
+	}
+	return e, true
+}
+
+// backend adapts the framework to the cache hierarchy's miss interface:
+// the memory controller of Fig. 6. Regular addresses go straight to DRAM;
+// overlay addresses are resolved through the OMT cache and the Overlay
+// Memory Store's segment metadata.
+type backend Framework
+
+func (b *backend) Fetch(addr arch.PhysAddr, done func()) {
+	f := (*Framework)(b)
+	if !addr.IsOverlay() {
+		f.DRAM.Read(addr, done)
+		return
+	}
+	opn := arch.OverlayPageOf(addr)
+	line := addr.Line()
+	entry, lat := f.OMTCache.Lookup(opn)
+	f.Engine.Schedule(lat, func() {
+		target, ok := f.locateOverlayLine(entry, line)
+		if !ok {
+			// No backing slot: the line's data never left the caches (or
+			// a prefetcher ran past the overlay). Zero-fill, no DRAM trip.
+			f.Engine.Stats.Inc("core.overlay_zero_fills")
+			done()
+			return
+		}
+		f.DRAM.Read(target, done)
+	})
+}
+
+func (b *backend) WriteBack(addr arch.PhysAddr) {
+	f := (*Framework)(b)
+	if !addr.IsOverlay() {
+		f.DRAM.Write(addr, nil)
+		return
+	}
+	opn := arch.OverlayPageOf(addr)
+	line := addr.Line()
+	entry, lat := f.OMTCache.Lookup(opn)
+	f.Engine.Schedule(lat, func() {
+		target, ok := f.locateOverlayLine(entry, line)
+		if !ok {
+			// Promotion discarded the overlay while the dirty line was in
+			// flight; drop the write-back.
+			f.Engine.Stats.Inc("core.overlay_stale_writebacks")
+			return
+		}
+		f.DRAM.Write(target, nil)
+	})
+}
+
+// locateOverlayLine resolves (entry, line) to a main-memory address,
+// guarding against segments freed while a request was in flight.
+func (f *Framework) locateOverlayLine(entry *omt.Entry, line int) (arch.PhysAddr, bool) {
+	if entry.SegBase == 0 {
+		return 0, false
+	}
+	if _, live := f.OMS.SegmentClass(entry.SegBase); !live {
+		return 0, false
+	}
+	return f.OMS.LocateLine(entry.SegBase, line)
+}
+
+// broadcastLineUpdate delivers the overlaying-read-exclusive message to
+// every TLB (and, via the shared table pointer, the OMT): the single-line
+// remap that replaces a TLB shootdown.
+func (f *Framework) broadcastLineUpdate(pid arch.PID, vpn arch.VPN, line int, inOverlay bool) {
+	for _, p := range f.ports {
+		p.TLB.UpdateLine(pid, vpn, line, inOverlay)
+	}
+	f.Engine.Stats.Inc("core.overlaying_read_exclusive")
+}

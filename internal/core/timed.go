@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// This file implements the timed memory-access operations of §4.3 as seen
+// by a CPU port: TLB translation, the three write flavours (plain/simple,
+// overlaying, conventional COW), and the read path. Structural state
+// changes are shared with the functional path via resolveWrite, so the
+// timed simulation and functional contents can never diverge.
+
+// Read performs a timed load of the line containing va; done fires when
+// the data reaches the core. It panics on a true fault (unmapped page) —
+// workloads are expected to map their footprints.
+func (p *Port) Read(pid arch.PID, va arch.VirtAddr, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	f := p.f
+	entry, lat, ok := p.TLB.Lookup(pid, va.Page())
+	if !ok {
+		panic(fmt.Sprintf("core: timed read fault at pid %d va %#x", pid, uint64(va)))
+	}
+	line := va.Line()
+	var target arch.PhysAddr
+	if entry.HasOverlay && entry.OBits.Has(line) {
+		target = arch.OverlayPage(pid, va.Page()).LineAddr(line)
+	} else {
+		target = arch.PhysAddrOf(entry.PPN, uint64(line)<<arch.LineShift)
+	}
+	f.Engine.Schedule(lat, func() { f.Hier.Access(target, false, done) })
+}
+
+// ReadOverlay performs a timed load of the overlay line containing va
+// through the overlay computation model of §5.2: the access is generated
+// by hardware that is already iterating the page's OBitVector, so it
+// addresses the Overlay Address Space directly and pays only the OMT
+// cache's hit latency instead of a TLB translation. The line must be in
+// the page's overlay.
+func (p *Port) ReadOverlay(pid arch.PID, va arch.VirtAddr, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	f := p.f
+	opn := arch.OverlayPage(pid, va.Page())
+	if !f.OMTTable.Get(opn).OBits.Has(va.Line()) {
+		panic(fmt.Sprintf("core: ReadOverlay of line outside overlay at pid %d va %#x", pid, uint64(va)))
+	}
+	// The streaming engine reads a page's OBitVector once, when the walk
+	// enters the page; subsequent lines of the same page pay nothing.
+	var lat sim.Cycle
+	if opn != p.lastOverlayOPN {
+		_, lat = f.OMTCache.Lookup(opn)
+		p.lastOverlayOPN = opn
+	}
+	target := opn.LineAddr(va.Line())
+	// The overlay computation model knows the OBitVector it is iterating:
+	// stream the upcoming overlay lines and prime the next page's OMT
+	// entry ahead of the walk.
+	p.extendOverlayPrefetch(opn, va.Line())
+	f.primeNextOMTEntry(opn)
+	f.Engine.Schedule(lat, func() { f.Hier.Access(target, false, done) })
+}
+
+// Write performs a timed store to the line containing va; done fires when
+// the store completes at the L1 (after any overlaying-write remap or COW
+// resolution on its critical path).
+func (p *Port) Write(pid arch.PID, va arch.VirtAddr, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	f := p.f
+	_, lat, ok := p.TLB.Lookup(pid, va.Page())
+	if !ok {
+		panic(fmt.Sprintf("core: timed write fault at pid %d va %#x", pid, uint64(va)))
+	}
+	f.Engine.Schedule(lat, func() { p.writeAfterTranslate(pid, va, done) })
+}
+
+func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done func()) {
+	f := p.f
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		panic(fmt.Sprintf("core: no process %d", pid))
+	}
+	vpn, line := va.Page(), va.Line()
+	res, err := f.resolveWrite(proc, vpn, line)
+	if err != nil {
+		panic(err)
+	}
+	switch res.kind {
+	case writePlain, writeSimpleOverlay:
+		f.Hier.Access(res.loc.cacheAddr, true, done)
+
+	case writeOverlaying:
+		// §4.3.3: fetch the source line (read-for-ownership), retag the
+		// block into the Overlay Address Space, pay the coherence round,
+		// then the store completes. The fetch is the application's own
+		// write-allocate miss; the remap adds OverlayRemapLatency.
+		f.Hier.Access(res.srcCacheAddr, true, func() {
+			f.Hier.Retag(res.srcCacheAddr, res.loc.cacheAddr)
+			f.Engine.Schedule(f.Config.OverlayRemapLatency, done)
+		})
+
+	case writeCOWCopy:
+		// Conventional copy-on-write (§2.2): trap into the OS, copy all 64
+		// lines of the page (reads issued with full memory-level
+		// parallelism; destination lines are produced into the cache),
+		// shoot down the TLBs, then retry the store on the new page.
+		srcPage := res.srcCacheAddr.PageAligned()
+		dstPage := res.loc.cacheAddr.PageAligned()
+		f.Engine.Schedule(f.Config.COWTrapLatency, func() {
+			remaining := arch.LinesPerPage
+			for i := 0; i < arch.LinesPerPage; i++ {
+				i := i
+				src := srcPage + arch.PhysAddr(i<<arch.LineShift)
+				f.Hier.Access(src, false, func() {
+					f.Hier.Install(dstPage+arch.PhysAddr(i<<arch.LineShift), true)
+					remaining--
+					if remaining == 0 {
+						cost := p.shootdownAll(pid, vpn)
+						f.Engine.Schedule(cost, func() {
+							f.Hier.Access(res.loc.cacheAddr, true, done)
+						})
+					}
+				})
+			}
+		})
+
+	case writeCOWReuse:
+		// Last sharer: the OS only flips permissions, but still traps and
+		// shoots down stale TLB entries.
+		f.Engine.Schedule(f.Config.COWTrapLatency, func() {
+			cost := p.shootdownAll(pid, vpn)
+			f.Engine.Schedule(cost, func() {
+				f.Hier.Access(res.loc.cacheAddr, true, done)
+			})
+		})
+
+	default:
+		panic("core: unknown write kind")
+	}
+}
+
+// shootdownAll invalidates (pid, vpn) in every port's TLB and returns the
+// critical-path cost of the shootdown protocol (paid once).
+func (p *Port) shootdownAll(pid arch.PID, vpn arch.VPN) sim.Cycle {
+	var cost sim.Cycle
+	for _, port := range p.f.ports {
+		c := port.TLB.Shootdown(pid, vpn)
+		if c > cost {
+			cost = c
+		}
+	}
+	return cost
+}

@@ -1,0 +1,236 @@
+// Package cpu models the processor core of Table 2: a 2.67 GHz,
+// single-issue, out-of-order core with a 64-entry instruction window.
+// The core is trace-driven — it dispatches one instruction per cycle into
+// the window, issues memory operations to its port of the memory system
+// as they dispatch (so independent misses overlap, giving the
+// memory-level parallelism the paper's copy-vs-overlay analysis hinges
+// on), and retires instructions in order from the head of the window.
+package cpu
+
+import (
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Kind is the class of a trace instruction.
+type Kind uint8
+
+const (
+	// Compute is an ALU burst of N instructions, one cycle each.
+	Compute Kind = iota
+	// Load reads the cache line containing VA.
+	Load
+	// Store writes the cache line containing VA.
+	Store
+	// LoadOverlay reads the overlay cache line containing VA through the
+	// overlay computation model (§5.2): the hardware iterates overlay
+	// lines straight from the OMT's OBitVector, so the access skips the
+	// TLB and addresses the Overlay Address Space directly.
+	LoadOverlay
+)
+
+// Instr is one trace record. N is the burst length for Compute (≥ 1) and
+// ignored for memory operations.
+type Instr struct {
+	Kind Kind
+	VA   arch.VirtAddr
+	N    int
+}
+
+// Trace supplies instructions. ok=false ends the program.
+type Trace interface {
+	Next() (Instr, bool)
+}
+
+// WindowSize is the instruction-window capacity (Table 2).
+const WindowSize = 64
+
+type slot struct {
+	count       int  // instructions this slot retires as
+	done        bool // completed execution
+	outstanding bool // memory op in flight
+}
+
+// Core is one simulated CPU.
+type Core struct {
+	engine *sim.Engine
+	port   *core.Port
+	pid    arch.PID
+	trace  Trace
+
+	window    []*slot
+	retired   uint64
+	limit     uint64
+	started   sim.Cycle
+	finished  sim.Cycle
+	running   bool
+	exhausted bool
+	onDone    func()
+	ticking   bool
+}
+
+// New creates a core executing trace on behalf of process pid through the
+// given memory port.
+func New(engine *sim.Engine, port *core.Port, pid arch.PID, trace Trace) *Core {
+	return &Core{engine: engine, port: port, pid: pid, trace: trace}
+}
+
+// Run starts execution and stops once `limit` instructions have retired
+// (or the trace ends). onDone fires at completion. Drive the engine
+// (engine.Run or RunWhile) to make progress.
+func (c *Core) Run(limit uint64, onDone func()) {
+	if c.running {
+		panic("cpu: core already running")
+	}
+	c.running = true
+	c.exhausted = false
+	c.retired = 0
+	c.limit = limit
+	c.onDone = onDone
+	c.started = c.engine.Now()
+	c.scheduleTick(0)
+}
+
+// Retired returns instructions retired in the current/last run.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Cycles returns the cycles consumed by the last completed run.
+func (c *Core) Cycles() sim.Cycle { return c.finished - c.started }
+
+// CPI returns cycles per instruction for the last completed run.
+func (c *Core) CPI() float64 {
+	if c.retired == 0 {
+		return 0
+	}
+	return float64(c.finished-c.started) / float64(c.retired)
+}
+
+// Running reports whether the core still has work.
+func (c *Core) Running() bool { return c.running }
+
+func (c *Core) scheduleTick(delay sim.Cycle) {
+	if c.ticking {
+		return
+	}
+	c.ticking = true
+	c.engine.Schedule(delay, func() {
+		c.ticking = false
+		c.tick()
+	})
+}
+
+func (c *Core) tick() {
+	if !c.running {
+		return
+	}
+	// Retire from the head, in order; one slot per cycle (a compute burst
+	// retires as a unit — it spent its N cycles executing).
+	if len(c.window) > 0 && c.window[0].done {
+		c.retired += uint64(c.window[0].count)
+		c.window = c.window[1:]
+	}
+	if c.limitReached() {
+		c.finish()
+		return
+	}
+
+	// Dispatch one instruction per cycle into the window.
+	if len(c.window) < WindowSize && !c.exhausted {
+		instr, ok := c.trace.Next()
+		if !ok {
+			c.exhausted = true
+		} else {
+			c.dispatch(instr)
+		}
+	}
+	if c.exhausted && len(c.window) == 0 {
+		c.finish()
+		return
+	}
+
+	// Keep ticking while forward progress is possible next cycle; when the
+	// core is stalled (window full or drained, head incomplete), sleep
+	// until a completion callback re-arms the tick.
+	canDispatch := len(c.window) < WindowSize && !c.exhausted
+	canRetire := len(c.window) > 0 && c.window[0].done
+	if canDispatch || canRetire {
+		c.scheduleTick(1)
+	}
+}
+
+func (c *Core) limitReached() bool { return c.limit > 0 && c.retired >= c.limit }
+
+func (c *Core) finish() {
+	if !c.running {
+		return
+	}
+	c.running = false
+	c.finished = c.engine.Now()
+	c.engine.Stats.Add("cpu.instructions", c.retired)
+	if c.onDone != nil {
+		c.onDone()
+	}
+}
+
+func (c *Core) dispatch(instr Instr) {
+	s := &slot{count: 1}
+	c.window = append(c.window, s)
+	switch instr.Kind {
+	case Compute:
+		n := instr.N
+		if n < 1 {
+			n = 1
+		}
+		s.count = n
+		c.engine.Schedule(sim.Cycle(n), func() { s.done = true; c.scheduleTick(0) })
+	case Load:
+		s.outstanding = true
+		c.port.Read(c.pid, instr.VA, func() {
+			s.outstanding = false
+			s.done = true
+			c.scheduleTick(0)
+		})
+	case LoadOverlay:
+		s.outstanding = true
+		c.port.ReadOverlay(c.pid, instr.VA, func() {
+			s.outstanding = false
+			s.done = true
+			c.scheduleTick(0)
+		})
+	case Store:
+		s.outstanding = true
+		c.port.Write(c.pid, instr.VA, func() {
+			s.outstanding = false
+			s.done = true
+			c.scheduleTick(0)
+		})
+	default:
+		panic("cpu: unknown instruction kind")
+	}
+}
+
+// SliceTrace adapts a []Instr to the Trace interface.
+type SliceTrace struct {
+	instrs []Instr
+	pos    int
+}
+
+// NewSliceTrace wraps a fixed instruction sequence.
+func NewSliceTrace(instrs []Instr) *SliceTrace { return &SliceTrace{instrs: instrs} }
+
+// Next implements Trace.
+func (t *SliceTrace) Next() (Instr, bool) {
+	if t.pos >= len(t.instrs) {
+		return Instr{}, false
+	}
+	i := t.instrs[t.pos]
+	t.pos++
+	return i, true
+}
+
+// FuncTrace adapts a generator function to the Trace interface.
+type FuncTrace func() (Instr, bool)
+
+// Next implements Trace.
+func (f FuncTrace) Next() (Instr, bool) { return f() }

@@ -1,0 +1,262 @@
+// Package dram models the main-memory controller and DDR3-1066 timing of
+// Table 2: a single channel/rank with 8 banks and 8 KB row buffers, an
+// open-row policy, FR-FCFS scheduling with a 64-entry write buffer drained
+// when full, and an 8-byte data bus with burst length 8 (one 64 B cache
+// line per burst).
+//
+// The model is event-driven: callers enqueue line-granularity read/write
+// requests; reads complete through a callback once the scheduler has
+// issued them and the data burst finishes, writes complete immediately at
+// acceptance (they are write-backs, off the critical path) and drain in
+// the background.
+package dram
+
+import (
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// Config holds controller geometry and timing. All latencies are in CPU
+// cycles (2.67 GHz core, 533 MHz DDR3-1066 bus ⇒ 5 CPU cycles per bus
+// cycle).
+type Config struct {
+	Banks        int       // banks per rank
+	RowBytes     int       // row-buffer size in bytes
+	WriteBufCap  int       // write-buffer entries; drain triggers when full
+	TRCD         sim.Cycle // activate → column command
+	TCL          sim.Cycle // column command → first data
+	TRP          sim.Cycle // precharge
+	TBurst       sim.Cycle // data burst occupancy of the channel
+	TCmd         sim.Cycle // command-bus gap between successive commands
+	WBForwardLat sim.Cycle // latency of a read forwarded from the write buffer
+}
+
+// DefaultConfig returns the Table 2 configuration: DDR3-1066 (CL 7),
+// 1 channel, 1 rank, 8 banks, 8 KB row buffer, 64-entry write buffer.
+func DefaultConfig() Config {
+	return Config{
+		Banks:        8,
+		RowBytes:     8192,
+		WriteBufCap:  64,
+		TRCD:         35,
+		TCL:          35,
+		TRP:          35,
+		TBurst:       20,
+		TCmd:         5,
+		WBForwardLat: 20,
+	}
+}
+
+type request struct {
+	addr    arch.PhysAddr // line-aligned main-memory address
+	write   bool
+	arrival sim.Cycle
+	done    func()
+}
+
+type bank struct {
+	openRow    int64     // -1 when no row is open
+	readyAt    sim.Cycle // when the open row can accept column commands
+	lastFinish sim.Cycle // when the bank's last data burst completes
+}
+
+// Controller is the memory controller front end.
+type Controller struct {
+	cfg       Config
+	engine    *sim.Engine
+	banks     []bank
+	readQ     []*request
+	writeBuf  []*request
+	pendingWr map[arch.PhysAddr]int // line addr → count in write buffer
+	busFreeAt sim.Cycle
+	draining  bool
+	kicked    bool // an issue event is already scheduled for this cycle
+}
+
+// New creates a controller attached to the engine.
+func New(engine *sim.Engine, cfg Config) *Controller {
+	if cfg.Banks <= 0 || cfg.RowBytes <= 0 {
+		panic("dram: invalid config")
+	}
+	banks := make([]bank, cfg.Banks)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	return &Controller{
+		cfg:       cfg,
+		engine:    engine,
+		banks:     banks,
+		pendingWr: make(map[arch.PhysAddr]int),
+	}
+}
+
+// linesPerRow returns how many cache lines one row buffer holds.
+func (c *Controller) linesPerRow() uint64 { return uint64(c.cfg.RowBytes / arch.LineSize) }
+
+// mapAddr splits a line-aligned address into (bank, row). Columns within a
+// row are contiguous so streaming accesses produce row-buffer hits.
+func (c *Controller) mapAddr(addr arch.PhysAddr) (bankIdx int, row int64) {
+	lineNum := uint64(addr) >> arch.LineShift
+	colBits := lineNum / c.linesPerRow()
+	bankIdx = int(colBits % uint64(c.cfg.Banks))
+	row = int64(colBits / uint64(c.cfg.Banks))
+	return bankIdx, row
+}
+
+// Read enqueues a line read; done fires when the data burst completes.
+func (c *Controller) Read(addr arch.PhysAddr, done func()) {
+	addr = addr.LineAligned()
+	c.engine.Stats.Inc("dram.reads")
+	if c.pendingWr[addr] > 0 {
+		// Forward from the write buffer: the youngest matching write holds
+		// the data, no DRAM access needed.
+		c.engine.Stats.Inc("dram.write_buffer_forwards")
+		c.engine.Schedule(c.cfg.WBForwardLat, done)
+		return
+	}
+	c.readQ = append(c.readQ, &request{addr: addr, arrival: c.engine.Now(), done: done})
+	c.kick()
+}
+
+// Write enqueues a line write-back. It completes immediately from the
+// caller's perspective; the controller drains the buffer per FR-FCFS
+// drain-when-full.
+func (c *Controller) Write(addr arch.PhysAddr, done func()) {
+	addr = addr.LineAligned()
+	c.engine.Stats.Inc("dram.writes")
+	c.writeBuf = append(c.writeBuf, &request{addr: addr, write: true, arrival: c.engine.Now()})
+	c.pendingWr[addr]++
+	if len(c.writeBuf) >= c.cfg.WriteBufCap {
+		if !c.draining {
+			c.engine.Stats.Inc("dram.write_drains")
+		}
+		c.draining = true
+	}
+	if done != nil {
+		c.engine.Schedule(0, done)
+	}
+	c.kick()
+}
+
+// Pending reports the number of requests not yet issued.
+func (c *Controller) Pending() int { return len(c.readQ) + len(c.writeBuf) }
+
+func (c *Controller) kick() {
+	if c.kicked {
+		return
+	}
+	c.kicked = true
+	c.engine.Schedule(0, func() {
+		c.kicked = false
+		c.issue()
+	})
+}
+
+// pool selects which queue the scheduler serves this round: reads unless
+// we are draining, or opportunistically writes when no reads are waiting.
+func (c *Controller) pool() []*request {
+	if c.draining {
+		return c.writeBuf
+	}
+	if len(c.readQ) == 0 && len(c.writeBuf) > 0 {
+		return c.writeBuf
+	}
+	return c.readQ
+}
+
+// issue picks one request per FR-FCFS (row hits first, then oldest) and
+// assigns it a bank/bus timeline, then reschedules itself for when the
+// channel can accept the next request.
+func (c *Controller) issue() {
+	pool := c.pool()
+	if len(pool) == 0 {
+		if c.draining && len(c.writeBuf) == 0 {
+			c.draining = false
+		}
+		return
+	}
+	now := c.engine.Now()
+	best := -1
+	for i, r := range pool {
+		bankIdx, row := c.mapAddr(r.addr)
+		hit := c.banks[bankIdx].openRow == row
+		if best == -1 {
+			best = i
+			continue
+		}
+		bBank, bRow := c.mapAddr(pool[best].addr)
+		bestHit := c.banks[bBank].openRow == bRow
+		if hit && !bestHit {
+			best = i
+		} else if hit == bestHit && r.arrival < pool[best].arrival {
+			best = i
+		}
+	}
+
+	r := pool[best]
+	bankIdx, row := c.mapAddr(r.addr)
+	b := &c.banks[bankIdx]
+
+	// Column commands to an open row pipeline behind each other (data
+	// bursts are the limiter); activations and precharges must wait for
+	// the bank's previous data burst to finish.
+	var rowReady sim.Cycle
+	switch {
+	case b.openRow == row:
+		rowReady = maxCycle(now, b.readyAt)
+		c.engine.Stats.Inc("dram.row_hits")
+	case b.openRow == -1:
+		rowReady = maxCycle(now, b.lastFinish) + c.cfg.TRCD
+		b.readyAt = rowReady
+		c.engine.Stats.Inc("dram.row_closed")
+	default:
+		rowReady = maxCycle(now, b.lastFinish) + c.cfg.TRP + c.cfg.TRCD
+		b.readyAt = rowReady
+		c.engine.Stats.Inc("dram.row_conflicts")
+	}
+	dataStart := maxCycle(rowReady+c.cfg.TCL, c.busFreeAt)
+	finish := dataStart + c.cfg.TBurst
+	b.openRow = row
+	b.lastFinish = finish
+	c.busFreeAt = finish
+
+	c.remove(pool, best)
+
+	if r.write {
+		c.pendingWr[r.addr]--
+		if c.pendingWr[r.addr] == 0 {
+			delete(c.pendingWr, r.addr)
+		}
+		if c.draining && len(c.writeBuf) == 0 {
+			c.draining = false
+		}
+	} else {
+		done := r.done
+		c.engine.At(finish, done)
+	}
+
+	// The command bus can issue the next command shortly after this one,
+	// letting other banks overlap their activations with this data burst.
+	c.engine.Schedule(c.cfg.TCmd, c.issue)
+}
+
+// remove deletes index i from whichever queue pool aliases.
+func (c *Controller) remove(pool []*request, i int) {
+	target := pool[i]
+	if len(c.readQ) > 0 && sliceContainsAt(c.readQ, target, i) {
+		c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+		return
+	}
+	c.writeBuf = append(c.writeBuf[:i], c.writeBuf[i+1:]...)
+}
+
+func sliceContainsAt(q []*request, r *request, i int) bool {
+	return i < len(q) && q[i] == r
+}
+
+func maxCycle(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,237 @@
+// Package exp contains the experiment harness: one runner per table or
+// figure in the paper's evaluation (§5), producing the same rows/series
+// the paper reports. See DESIGN.md's per-experiment index.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// ForkParams sizes the Figures 8/9 experiment. The paper warms for 200 M
+// instructions and measures 300 M after the fork; the defaults here are
+// scaled down 100× (DESIGN.md discusses why the shapes are preserved).
+type ForkParams struct {
+	WarmInstructions    uint64
+	MeasureInstructions uint64
+}
+
+// DefaultForkParams returns the scaled-down default window.
+func DefaultForkParams() ForkParams {
+	return ForkParams{WarmInstructions: 2_000_000, MeasureInstructions: 3_000_000}
+}
+
+// QuickForkParams is small enough for tests and smoke benches.
+func QuickForkParams() ForkParams {
+	return ForkParams{WarmInstructions: 60_000, MeasureInstructions: 150_000}
+}
+
+// MechanismResult holds one (benchmark, mechanism) measurement.
+type MechanismResult struct {
+	AddedBytes int     // additional memory consumed after the fork
+	CPI        float64 // cycles per instruction after the fork
+	Cycles     uint64
+	PageCopies uint64
+	Overlaying uint64
+}
+
+// ForkResult is one Figure 8/9 row: a benchmark measured under
+// conventional copy-on-write and under overlay-on-write.
+type ForkResult struct {
+	Benchmark string
+	Type      workload.Type
+	CoW       MechanismResult
+	OoW       MechanismResult
+}
+
+// MemoryReduction returns 1 − OoW/CoW added memory (the Figure 8 claim).
+func (r ForkResult) MemoryReduction() float64 {
+	if r.CoW.AddedBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.OoW.AddedBytes)/float64(r.CoW.AddedBytes)
+}
+
+// Speedup returns CoW CPI / OoW CPI (> 1 means overlays are faster).
+func (r ForkResult) Speedup() float64 {
+	if r.OoW.CPI == 0 {
+		return 0
+	}
+	return r.CoW.CPI / r.OoW.CPI
+}
+
+// runMechanism executes one benchmark under one fork mechanism.
+func runMechanism(spec workload.Spec, params ForkParams, overlayMode bool) (MechanismResult, error) {
+	cfg := core.DefaultConfig()
+	// Footprint + room for COW copies + generous OMS headroom.
+	cfg.MemoryPages = spec.Pages*2 + 16384
+	f, err := core.New(cfg)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	proc := f.VM.NewProcess()
+	if err := spec.MapFootprint(f, proc); err != nil {
+		return MechanismResult{}, err
+	}
+	port := f.NewPort()
+	c := cpu.New(f.Engine, port, proc.PID, spec.NewTrace())
+
+	// Warm-up: run the pre-fork region of the benchmark.
+	warmDone := false
+	c.Run(params.WarmInstructions, func() { warmDone = true })
+	f.Engine.Run()
+	if !warmDone {
+		return MechanismResult{}, fmt.Errorf("exp: warm-up never finished")
+	}
+
+	// Checkpoint-style fork; the child idles (as in the paper's setup).
+	f.Fork(proc, overlayMode)
+	framesBase := f.Mem.AllocatedPages()
+	omsFramesBase := f.OMS.FramesOwned()
+	omsBase := f.OMS.BytesInUse()
+	copiesBase := f.Engine.Stats.Get("core.cow_page_copies")
+	overlayingBase := f.Engine.Stats.Get("core.overlaying_writes")
+
+	measureDone := false
+	c.Run(params.MeasureInstructions, func() { measureDone = true })
+	f.Engine.Run()
+	if !measureDone {
+		return MechanismResult{}, fmt.Errorf("exp: measurement never finished")
+	}
+
+	// Additional memory = new regular frames (page copies) plus the bytes
+	// of Overlay Memory Store segments in use. Frames the OMS acquired
+	// from the OS are excluded from the frame delta — they are accounted
+	// compactly through BytesInUse, which is the overlay design's whole
+	// point.
+	regularFrames := f.Mem.AllocatedPages() - framesBase - (f.OMS.FramesOwned() - omsFramesBase)
+	added := regularFrames*arch.PageSize + (f.OMS.BytesInUse() - omsBase)
+	return MechanismResult{
+		AddedBytes: added,
+		CPI:        c.CPI(),
+		Cycles:     uint64(c.Cycles()),
+		PageCopies: f.Engine.Stats.Get("core.cow_page_copies") - copiesBase,
+		Overlaying: f.Engine.Stats.Get("core.overlaying_writes") - overlayingBase,
+	}, nil
+}
+
+// RunForkBenchmark measures one benchmark under both mechanisms.
+func RunForkBenchmark(spec workload.Spec, params ForkParams) (ForkResult, error) {
+	cow, err := runMechanism(spec, params, false)
+	if err != nil {
+		return ForkResult{}, fmt.Errorf("%s/cow: %w", spec.Name, err)
+	}
+	oow, err := runMechanism(spec, params, true)
+	if err != nil {
+		return ForkResult{}, fmt.Errorf("%s/oow: %w", spec.Name, err)
+	}
+	return ForkResult{Benchmark: spec.Name, Type: spec.Type, CoW: cow, OoW: oow}, nil
+}
+
+// RunForkSuite measures every benchmark (or the named subset).
+func RunForkSuite(params ForkParams, names []string) ([]ForkResult, error) {
+	var specs []workload.Spec
+	if len(names) == 0 {
+		specs = workload.Suite()
+	} else {
+		for _, n := range names {
+			s, err := workload.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, s)
+		}
+	}
+	results := make([]ForkResult, 0, len(specs))
+	for _, s := range specs {
+		r, err := RunForkBenchmark(s, params)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// RunForkCPI runs one benchmark under one mechanism with a custom config
+// and returns the post-fork CPI (ablation studies use this to sweep
+// framework parameters).
+func RunForkCPI(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (float64, error) {
+	f, c, err := runToFork(spec, cfg, params, overlayMode)
+	if err != nil {
+		return 0, err
+	}
+	c.Run(params.MeasureInstructions, nil)
+	f.Engine.Run()
+	return c.CPI(), nil
+}
+
+// RunWithStats runs one benchmark under one mechanism with the given
+// config and returns the engine's full counter dump (debug/CLI aid).
+func RunWithStats(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (string, error) {
+	f, c, err := runToFork(spec, cfg, params, overlayMode)
+	if err != nil {
+		return "", err
+	}
+	c.Run(params.MeasureInstructions, nil)
+	f.Engine.Run()
+	return fmt.Sprintf("cpi %.3f\n%s", c.CPI(), f.Engine.Stats.String()), nil
+}
+
+// runToFork builds the system, warms the benchmark, and forks.
+func runToFork(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (*core.Framework, *cpu.Core, error) {
+	f, err := core.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	proc := f.VM.NewProcess()
+	if err := spec.MapFootprint(f, proc); err != nil {
+		return nil, nil, err
+	}
+	port := f.NewPort()
+	c := cpu.New(f.Engine, port, proc.PID, spec.NewTrace())
+	c.Run(params.WarmInstructions, nil)
+	f.Engine.Run()
+	f.Fork(proc, overlayMode)
+	return f, c, nil
+}
+
+// PrintFigure8 renders the additional-memory comparison (Figure 8).
+func PrintFigure8(w io.Writer, results []ForkResult) {
+	fmt.Fprintln(w, "Figure 8: Additional memory consumed after a fork")
+	fmt.Fprintf(w, "%-10s %-5s %15s %15s %12s\n", "benchmark", "type", "cow (KB)", "overlay (KB)", "reduction")
+	var totCow, totOow float64
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %-5d %15.1f %15.1f %11.1f%%\n",
+			r.Benchmark, r.Type,
+			float64(r.CoW.AddedBytes)/1024, float64(r.OoW.AddedBytes)/1024,
+			100*r.MemoryReduction())
+		totCow += float64(r.CoW.AddedBytes)
+		totOow += float64(r.OoW.AddedBytes)
+	}
+	mean := 0.0
+	if totCow > 0 {
+		mean = 100 * (1 - totOow/totCow)
+	}
+	fmt.Fprintf(w, "%-10s %-5s %15.1f %15.1f %11.1f%%   (paper: 53%%)\n",
+		"mean", "-", totCow/1024/float64(len(results)), totOow/1024/float64(len(results)), mean)
+}
+
+// PrintFigure9 renders the post-fork CPI comparison (Figure 9).
+func PrintFigure9(w io.Writer, results []ForkResult) {
+	fmt.Fprintln(w, "Figure 9: Cycles per instruction after a fork (lower is better)")
+	fmt.Fprintf(w, "%-10s %-5s %10s %10s %10s\n", "benchmark", "type", "cow CPI", "ovl CPI", "speedup")
+	var sumSpeedup float64
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %-5d %10.3f %10.3f %9.1f%%\n",
+			r.Benchmark, r.Type, r.CoW.CPI, r.OoW.CPI, 100*(r.Speedup()-1))
+		sumSpeedup += r.Speedup()
+	}
+	fmt.Fprintf(w, "%-10s %-5s %10s %10s %9.1f%%   (paper: 15%%)\n",
+		"mean", "-", "", "", 100*(sumSpeedup/float64(len(results))-1))
+}

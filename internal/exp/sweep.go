@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sparse"
+)
+
+// SweepResult is one point of the §5.2 in-text experiment: randomly
+// generated matrices with varying sparsity, overlay representation versus
+// the dense baseline.
+type SweepResult struct {
+	ZeroLineFrac float64 // fraction of cache lines that are entirely zero
+	OverlayCycles,
+	DenseCycles uint64
+}
+
+// Speedup is dense/overlay cycles (≥ 1 expected at any sparsity).
+func (r SweepResult) Speedup() float64 {
+	if r.OverlayCycles == 0 {
+		return 0
+	}
+	return float64(r.DenseCycles) / float64(r.OverlayCycles)
+}
+
+// RunSparsitySweep measures `points` sparsity levels from dense (0 % zero
+// lines) to nearly empty, on rows×rows matrices.
+func RunSparsitySweep(points, rows int) ([]SweepResult, error) {
+	if points < 2 {
+		return nil, fmt.Errorf("exp: need at least 2 sweep points")
+	}
+	results := make([]SweepResult, 0, points)
+	totalLines := rows * rows / sparse.ValuesPerLine
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1) // fraction of zero lines
+		nnzLines := int(float64(totalLines) * (1 - frac))
+		if nnzLines < 1 {
+			nnzLines = 1
+		}
+		// Fully dense lines (L = 8) isolate the zero-line-skipping effect;
+		// the exact generator reaches 0 % zero lines, which the clustered
+		// suite generator deliberately cannot.
+		m := sparse.ExactLines(fmt.Sprintf("sweep%02d", i), rows, rows, nnzLines, int64(900+i))
+		r, err := RunSpMV(m, true)
+		if err != nil {
+			return nil, err
+		}
+		measuredZeroFrac := 1 - float64(m.NNZBlocks(64))/float64(totalLines)
+		results = append(results, SweepResult{
+			ZeroLineFrac:  measuredZeroFrac,
+			OverlayCycles: r.OverlayCycles,
+			DenseCycles:   r.DenseCycles,
+		})
+	}
+	return results, nil
+}
+
+// PrintSweep renders the sparsity sweep (§5.2 in-text claim: overlays
+// outperform the dense representation at all sparsity levels, with the
+// gap growing linearly in the zero-line fraction).
+func PrintSweep(w io.Writer, results []SweepResult) {
+	fmt.Fprintln(w, "Sparsity sweep: overlay vs dense representation (one SpMV iteration)")
+	fmt.Fprintf(w, "%12s %15s %15s %10s\n", "zero lines", "overlay cycles", "dense cycles", "speedup")
+	for _, r := range results {
+		fmt.Fprintf(w, "%11.0f%% %15d %15d %9.2fx\n",
+			100*r.ZeroLineFrac, r.OverlayCycles, r.DenseCycles, r.Speedup())
+	}
+	fmt.Fprintln(w, "(paper: overlay outperforms dense at all sparsity levels; gap grows with zero-line fraction)")
+}

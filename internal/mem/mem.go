@@ -1,0 +1,210 @@
+// Package mem models main memory: a pool of 4 KB physical frames with
+// byte-addressable contents, a frame allocator, and the zero page. Main
+// memory is split between regular physical pages and the Overlay Memory
+// Store (the OMS region is managed by internal/oms; this package only
+// hands out frames).
+//
+// Contents are stored functionally so that techniques built on the
+// framework (fork isolation, deduplication, speculation, SpMV) can be
+// verified for value-correctness, not just timing.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// ZeroPPN is the reserved all-zeroes physical page. Sparse data structures
+// map every virtual page to it and keep non-zero lines in overlays (§5.2).
+const ZeroPPN arch.PPN = 0
+
+// Memory is byte-addressable main memory with lazy frame materialisation:
+// a frame with no contents reads as zeroes and occupies no host memory.
+type Memory struct {
+	frames     map[arch.PPN]*[arch.PageSize]byte
+	totalPages int
+	nextFree   arch.PPN
+	freeList   []arch.PPN
+	allocated  map[arch.PPN]bool
+}
+
+// New creates a memory with capacity for totalPages physical frames.
+// Frame 0 is reserved as the zero page and is never handed out.
+func New(totalPages int) *Memory {
+	if totalPages < 2 {
+		panic("mem: need at least two pages (zero page + one usable)")
+	}
+	return &Memory{
+		frames:     make(map[arch.PPN]*[arch.PageSize]byte),
+		totalPages: totalPages,
+		nextFree:   1,
+		allocated:  map[arch.PPN]bool{ZeroPPN: true},
+	}
+}
+
+// TotalPages returns the configured capacity in frames.
+func (m *Memory) TotalPages() int { return m.totalPages }
+
+// AllocatedPages returns the number of frames currently allocated,
+// including the reserved zero page.
+func (m *Memory) AllocatedPages() int { return len(m.allocated) }
+
+// FreePages returns the number of frames still available.
+func (m *Memory) FreePages() int { return m.totalPages - len(m.allocated) }
+
+// Alloc returns a free frame. Frames are handed out zeroed.
+func (m *Memory) Alloc() (arch.PPN, error) {
+	if n := len(m.freeList); n > 0 {
+		ppn := m.freeList[n-1]
+		m.freeList = m.freeList[:n-1]
+		m.allocated[ppn] = true
+		delete(m.frames, ppn) // recycled frames read as zero again
+		return ppn, nil
+	}
+	if int(m.nextFree) >= m.totalPages {
+		return 0, fmt.Errorf("mem: out of physical memory (%d pages)", m.totalPages)
+	}
+	ppn := m.nextFree
+	m.nextFree++
+	m.allocated[ppn] = true
+	return ppn, nil
+}
+
+// Free returns a frame to the allocator. Freeing the zero page or an
+// unallocated frame panics: both indicate a bookkeeping bug upstream.
+func (m *Memory) Free(ppn arch.PPN) {
+	if ppn == ZeroPPN {
+		panic("mem: freeing the zero page")
+	}
+	if !m.allocated[ppn] {
+		panic(fmt.Sprintf("mem: double free of ppn %#x", uint64(ppn)))
+	}
+	delete(m.allocated, ppn)
+	m.freeList = append(m.freeList, ppn)
+}
+
+// Allocated reports whether the frame is currently allocated.
+func (m *Memory) Allocated(ppn arch.PPN) bool { return m.allocated[ppn] }
+
+func (m *Memory) frame(ppn arch.PPN, materialise bool) *[arch.PageSize]byte {
+	f := m.frames[ppn]
+	if f == nil && materialise {
+		f = new([arch.PageSize]byte)
+		m.frames[ppn] = f
+	}
+	return f
+}
+
+// ReadLine copies cache line `line` of frame ppn into dst (64 bytes).
+func (m *Memory) ReadLine(ppn arch.PPN, line int, dst []byte) {
+	checkLine(line)
+	f := m.frame(ppn, false)
+	if f == nil {
+		for i := range dst[:arch.LineSize] {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst, f[line*arch.LineSize:(line+1)*arch.LineSize])
+}
+
+// WriteLine stores 64 bytes into cache line `line` of frame ppn.
+func (m *Memory) WriteLine(ppn arch.PPN, line int, src []byte) {
+	checkLine(line)
+	if ppn == ZeroPPN {
+		panic("mem: write to the zero page")
+	}
+	f := m.frame(ppn, true)
+	copy(f[line*arch.LineSize:(line+1)*arch.LineSize], src)
+}
+
+// Read returns the byte at (ppn, offset).
+func (m *Memory) Read(ppn arch.PPN, offset uint64) byte {
+	checkOffset(offset)
+	f := m.frame(ppn, false)
+	if f == nil {
+		return 0
+	}
+	return f[offset]
+}
+
+// Write stores one byte at (ppn, offset).
+func (m *Memory) Write(ppn arch.PPN, offset uint64, b byte) {
+	checkOffset(offset)
+	if ppn == ZeroPPN {
+		panic("mem: write to the zero page")
+	}
+	m.frame(ppn, true)[offset] = b
+}
+
+// Read64 loads a little-endian uint64 at (ppn, offset); the access must
+// not cross a page boundary.
+func (m *Memory) Read64(ppn arch.PPN, offset uint64) uint64 {
+	if offset+8 > arch.PageSize {
+		panic("mem: Read64 crosses page boundary")
+	}
+	f := m.frame(ppn, false)
+	if f == nil {
+		return 0
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(f[offset+i]) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a little-endian uint64 at (ppn, offset).
+func (m *Memory) Write64(ppn arch.PPN, offset uint64, v uint64) {
+	if offset+8 > arch.PageSize {
+		panic("mem: Write64 crosses page boundary")
+	}
+	if ppn == ZeroPPN {
+		panic("mem: write to the zero page")
+	}
+	f := m.frame(ppn, true)
+	for i := uint64(0); i < 8; i++ {
+		f[offset+i] = byte(v >> (8 * i))
+	}
+}
+
+// CopyPage copies the full contents of frame src to frame dst.
+func (m *Memory) CopyPage(dst, src arch.PPN) {
+	if dst == ZeroPPN {
+		panic("mem: write to the zero page")
+	}
+	sf := m.frame(src, false)
+	if sf == nil {
+		delete(m.frames, dst) // copying a zero frame: dst reads as zero
+		return
+	}
+	df := m.frame(dst, true)
+	*df = *sf
+}
+
+// PageIsZero reports whether every byte of the frame is zero.
+func (m *Memory) PageIsZero(ppn arch.PPN) bool {
+	f := m.frame(ppn, false)
+	if f == nil {
+		return true
+	}
+	for _, b := range f {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLine(line int) {
+	if line < 0 || line >= arch.LinesPerPage {
+		panic(fmt.Sprintf("mem: line index %d out of range", line))
+	}
+}
+
+func checkOffset(offset uint64) {
+	if offset >= arch.PageSize {
+		panic(fmt.Sprintf("mem: offset %#x out of range", offset))
+	}
+}

@@ -1,0 +1,206 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestAllocFreeCycle(t *testing.T) {
+	m := New(8)
+	if m.AllocatedPages() != 1 { // zero page
+		t.Fatalf("initial allocated = %d, want 1", m.AllocatedPages())
+	}
+	var ppns []arch.PPN
+	for i := 0; i < 7; i++ {
+		ppn, err := m.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if ppn == ZeroPPN {
+			t.Fatal("allocator handed out the zero page")
+		}
+		ppns = append(ppns, ppn)
+	}
+	if _, err := m.Alloc(); err == nil {
+		t.Fatal("expected out-of-memory")
+	}
+	m.Free(ppns[3])
+	if m.FreePages() != 1 {
+		t.Fatalf("FreePages = %d, want 1", m.FreePages())
+	}
+	again, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ppns[3] {
+		t.Fatalf("recycled frame = %#x, want %#x", uint64(again), uint64(ppns[3]))
+	}
+}
+
+func TestRecycledFrameIsZeroed(t *testing.T) {
+	m := New(4)
+	ppn, _ := m.Alloc()
+	m.Write(ppn, 100, 0xab)
+	m.Free(ppn)
+	ppn2, _ := m.Alloc()
+	if ppn2 != ppn {
+		t.Fatalf("expected frame reuse")
+	}
+	if m.Read(ppn2, 100) != 0 {
+		t.Fatal("recycled frame not zeroed")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := New(4)
+	ppn, _ := m.Alloc()
+	m.Free(ppn)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	m.Free(ppn)
+}
+
+func TestZeroPageProtected(t *testing.T) {
+	m := New(4)
+	for name, fn := range map[string]func(){
+		"Write":     func() { m.Write(ZeroPPN, 0, 1) },
+		"WriteLine": func() { m.WriteLine(ZeroPPN, 0, make([]byte, 64)) },
+		"Write64":   func() { m.Write64(ZeroPPN, 0, 1) },
+		"Free":      func() { m.Free(ZeroPPN) },
+		"CopyPage":  func() { m.CopyPage(ZeroPPN, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s to zero page did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if m.Read(ZeroPPN, 123) != 0 || !m.PageIsZero(ZeroPPN) {
+		t.Fatal("zero page must read as zero")
+	}
+}
+
+func TestLineReadWrite(t *testing.T) {
+	m := New(4)
+	ppn, _ := m.Alloc()
+	src := make([]byte, arch.LineSize)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	m.WriteLine(ppn, 17, src)
+	dst := make([]byte, arch.LineSize)
+	m.ReadLine(ppn, 17, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("line round trip failed")
+	}
+	m.ReadLine(ppn, 16, dst)
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("neighbouring line dirtied")
+		}
+	}
+}
+
+func TestReadWrite64RoundTrip(t *testing.T) {
+	m := New(4)
+	ppn, _ := m.Alloc()
+	m.Write64(ppn, 40, 0xdeadbeefcafef00d)
+	if got := m.Read64(ppn, 40); got != 0xdeadbeefcafef00d {
+		t.Fatalf("Read64 = %#x", got)
+	}
+	if got := m.Read64(ppn, 48); got != 0 {
+		t.Fatalf("adjacent word dirtied: %#x", got)
+	}
+}
+
+func TestRead64CrossPagePanics(t *testing.T) {
+	m := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Read64(1, arch.PageSize-4)
+}
+
+func TestCopyPage(t *testing.T) {
+	m := New(6)
+	src, _ := m.Alloc()
+	dst, _ := m.Alloc()
+	m.Write(src, 5, 0x11)
+	m.Write(dst, 9, 0x22)
+	m.CopyPage(dst, src)
+	if m.Read(dst, 5) != 0x11 {
+		t.Fatal("copy missed data")
+	}
+	if m.Read(dst, 9) != 0 {
+		t.Fatal("copy did not overwrite destination")
+	}
+	// Copying a never-written (zero) frame must clear the destination.
+	empty, _ := m.Alloc()
+	m.CopyPage(dst, empty)
+	if !m.PageIsZero(dst) {
+		t.Fatal("copying zero frame should zero destination")
+	}
+}
+
+func TestPageIsZero(t *testing.T) {
+	m := New(4)
+	ppn, _ := m.Alloc()
+	if !m.PageIsZero(ppn) {
+		t.Fatal("fresh frame should be zero")
+	}
+	m.Write(ppn, arch.PageSize-1, 1)
+	if m.PageIsZero(ppn) {
+		t.Fatal("dirty frame reported zero")
+	}
+}
+
+func TestByteRoundTripProperty(t *testing.T) {
+	m := New(16)
+	ppn, _ := m.Alloc()
+	f := func(off uint16, v byte) bool {
+		o := uint64(off) % arch.PageSize
+		m.Write(ppn, o, v)
+		return m.Read(ppn, o) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocUniqueProperty(t *testing.T) {
+	// Property: live frames handed out by Alloc are always distinct.
+	m := New(1024)
+	seen := make(map[arch.PPN]bool)
+	rng := rand.New(rand.NewSource(4))
+	var live []arch.PPN
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			m.Free(live[k])
+			delete(seen, live[k])
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		ppn, err := m.Alloc()
+		if err != nil {
+			continue
+		}
+		if seen[ppn] {
+			t.Fatalf("frame %#x handed out twice", uint64(ppn))
+		}
+		seen[ppn] = true
+		live = append(live, ppn)
+	}
+}

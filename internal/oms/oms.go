@@ -1,0 +1,406 @@
+// Package oms implements the Overlay Memory Store of §4.4: the region of
+// main memory where overlays are stored compactly. Overlays live in
+// segments of five fixed sizes (256 B – 4 KB). Every sub-4 KB segment
+// begins with a metadata cache line holding 64 five-bit slot pointers and
+// a 32-bit free-slot vector (Figure 7); a 4 KB segment stores each line at
+// its natural page offset and needs no metadata. Free segments are kept on
+// per-size grouped free lists; when a size class runs dry the store splits
+// a segment of the next size up, and when it runs out of 4 KB segments it
+// asks the OS for more frames.
+//
+// Segment metadata is stored functionally in main memory (the metadata
+// line really occupies the segment's first 64 bytes), exactly where the
+// OMT cache expects to find and cache it.
+package oms
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// NumClasses is the number of segment size classes.
+const NumClasses = 5
+
+// ClassBytes returns the byte size of a segment of the given class
+// (class 0 = 256 B … class 4 = 4 KB).
+func ClassBytes(class int) int { return 256 << uint(class) }
+
+// ClassLines returns the number of cache lines a segment spans.
+func ClassLines(class int) int { return ClassBytes(class) / arch.LineSize }
+
+// ClassSlots returns how many overlay cache lines a segment can hold; all
+// classes but the largest sacrifice one line to metadata.
+func ClassSlots(class int) int {
+	if class == NumClasses-1 {
+		return arch.LinesPerPage
+	}
+	return ClassLines(class) - 1
+}
+
+// ClassFor returns the smallest class able to hold n overlay lines.
+func ClassFor(n int) int {
+	for c := 0; c < NumClasses; c++ {
+		if ClassSlots(c) >= n {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("oms: no segment class holds %d lines", n))
+}
+
+// Store is the Overlay Memory Store manager. It is owned by the memory
+// controller and touched only on cache-hierarchy misses and dirty
+// write-backs (§3.3), never on the critical path of cache hits.
+type Store struct {
+	memory *mem.Memory
+	stats  *sim.Stats
+
+	free      [NumClasses][]arch.PhysAddr
+	freeClass map[arch.PhysAddr]int // base → class for free segments
+	segClass  map[arch.PhysAddr]int // base → class for live segments
+	owned     int                   // frames handed to the store by the OS
+	inUse     int                   // bytes of live segments
+}
+
+// New creates a store drawing frames from memory. The OS proactively
+// hands the controller initialFrames 4 KB pages at startup (§4.4.3).
+func New(memory *mem.Memory, stats *sim.Stats, initialFrames int) (*Store, error) {
+	s := &Store{
+		memory:    memory,
+		stats:     stats,
+		segClass:  make(map[arch.PhysAddr]int),
+		freeClass: make(map[arch.PhysAddr]int),
+	}
+	if err := s.addFrames(initialFrames); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) addFrames(n int) error {
+	for i := 0; i < n; i++ {
+		ppn, err := s.memory.Alloc()
+		if err != nil {
+			return fmt.Errorf("oms: growing store: %w", err)
+		}
+		s.addFree(arch.PhysAddrOf(ppn, 0), NumClasses-1)
+		s.owned++
+	}
+	if s.stats != nil {
+		s.stats.Add("oms.frames_granted", uint64(n))
+	}
+	return nil
+}
+
+// BytesInUse returns the bytes occupied by live segments (metadata lines
+// and internal slack included — this is the store's true footprint).
+func (s *Store) BytesInUse() int { return s.inUse }
+
+// FramesOwned returns the number of 4 KB frames the OS has granted.
+func (s *Store) FramesOwned() int { return s.owned }
+
+// LiveSegments returns the number of allocated segments.
+func (s *Store) LiveSegments() int { return len(s.segClass) }
+
+// AllocSegment carves out a free segment of the class, splitting larger
+// segments or requesting OS frames as needed.
+func (s *Store) AllocSegment(class int) (arch.PhysAddr, error) {
+	if class < 0 || class >= NumClasses {
+		panic(fmt.Sprintf("oms: bad class %d", class))
+	}
+	if err := s.refill(class); err != nil {
+		return 0, err
+	}
+	n := len(s.free[class])
+	base := s.free[class][n-1]
+	s.free[class] = s.free[class][:n-1]
+	delete(s.freeClass, base)
+	s.segClass[base] = class
+	s.inUse += ClassBytes(class)
+	if s.stats != nil {
+		s.stats.Inc("oms.segment_allocs")
+	}
+	if class < NumClasses-1 {
+		s.initMetadata(base)
+	}
+	return base, nil
+}
+
+// refill guarantees the class's free list is non-empty.
+func (s *Store) refill(class int) error {
+	if len(s.free[class]) > 0 {
+		return nil
+	}
+	if class == NumClasses-1 {
+		// Double the store, with a floor of one frame.
+		grow := s.owned
+		if grow == 0 {
+			grow = 1
+		}
+		return s.addFrames(grow)
+	}
+	if err := s.refill(class + 1); err != nil {
+		return err
+	}
+	n := len(s.free[class+1])
+	big := s.free[class+1][n-1]
+	s.free[class+1] = s.free[class+1][:n-1]
+	delete(s.freeClass, big)
+	half := arch.PhysAddr(ClassBytes(class))
+	s.addFree(big, class)
+	s.addFree(big+half, class)
+	if s.stats != nil {
+		s.stats.Inc("oms.segment_splits")
+	}
+	return nil
+}
+
+// FreeSegment returns a segment to its class free list, coalescing with
+// its buddy (the equal-sized neighbour within the parent segment) into
+// larger segments whenever both halves are free — the store's defence
+// against long-run fragmentation.
+func (s *Store) FreeSegment(base arch.PhysAddr) {
+	class, ok := s.segClass[base]
+	if !ok {
+		panic(fmt.Sprintf("oms: freeing unknown segment %#x", uint64(base)))
+	}
+	delete(s.segClass, base)
+	s.inUse -= ClassBytes(class)
+	for class < NumClasses-1 {
+		buddy := base ^ arch.PhysAddr(ClassBytes(class))
+		if c, free := s.freeClass[buddy]; !free || c != class {
+			break
+		}
+		s.removeFree(buddy, class)
+		if buddy < base {
+			base = buddy
+		}
+		class++
+		if s.stats != nil {
+			s.stats.Inc("oms.segment_coalesces")
+		}
+	}
+	s.addFree(base, class)
+	if s.stats != nil {
+		s.stats.Inc("oms.segment_frees")
+	}
+}
+
+// addFree places a segment on its class free list.
+func (s *Store) addFree(base arch.PhysAddr, class int) {
+	s.free[class] = append(s.free[class], base)
+	s.freeClass[base] = class
+}
+
+// removeFree removes a specific free segment (buddy coalescing).
+func (s *Store) removeFree(base arch.PhysAddr, class int) {
+	delete(s.freeClass, base)
+	q := s.free[class]
+	for i, b := range q {
+		if b == base {
+			s.free[class] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("oms: free segment %#x missing from class %d list", uint64(base), class))
+}
+
+// SegmentClass returns the class of a live segment.
+func (s *Store) SegmentClass(base arch.PhysAddr) (int, bool) {
+	c, ok := s.segClass[base]
+	return c, ok
+}
+
+// ---- Segment metadata (Figure 7) ----
+//
+// Byte layout of the metadata line (first 64 B of sub-4 KB segments):
+//   bytes 0..39  : 64 slot pointers, 5 bits each, little-endian bit order.
+//                  Pointer value 0 = line not present; k = data in slot k.
+//   bytes 40..43 : 32-bit free-slot vector; bit (k-1) set = slot k free.
+
+func (s *Store) metaPPN(base arch.PhysAddr) (arch.PPN, uint64) {
+	return arch.PPN(base.Page()), uint64(base) & arch.PageMask
+}
+
+func (s *Store) readMetaBits(base arch.PhysAddr, bitOff, width uint) uint32 {
+	ppn, off := s.metaPPN(base)
+	var v uint32
+	for i := uint(0); i < width; i++ {
+		bit := bitOff + i
+		b := s.memory.Read(ppn, off+uint64(bit/8))
+		v |= uint32(b>>(bit%8)&1) << i
+	}
+	return v
+}
+
+func (s *Store) writeMetaBits(base arch.PhysAddr, bitOff, width uint, v uint32) {
+	ppn, off := s.metaPPN(base)
+	for i := uint(0); i < width; i++ {
+		bit := bitOff + i
+		byteOff := off + uint64(bit/8)
+		b := s.memory.Read(ppn, byteOff)
+		if v>>i&1 != 0 {
+			b |= 1 << (bit % 8)
+		} else {
+			b &^= 1 << (bit % 8)
+		}
+		s.memory.Write(ppn, byteOff, b)
+	}
+}
+
+func (s *Store) slotPointer(base arch.PhysAddr, line int) int {
+	return int(s.readMetaBits(base, uint(line)*5, 5))
+}
+
+func (s *Store) setSlotPointer(base arch.PhysAddr, line, slot int) {
+	s.writeMetaBits(base, uint(line)*5, 5, uint32(slot))
+}
+
+func (s *Store) freeVector(base arch.PhysAddr) uint32 {
+	return s.readMetaBits(base, 320, 32)
+}
+
+func (s *Store) setFreeVector(base arch.PhysAddr, v uint32) {
+	s.writeMetaBits(base, 320, 32, v)
+}
+
+// initMetadata marks every data slot free and all pointers invalid.
+func (s *Store) initMetadata(base arch.PhysAddr) {
+	class := s.segClass[base]
+	ppn, off := s.metaPPN(base)
+	for i := 0; i < arch.LineSize; i++ {
+		s.memory.Write(ppn, off+uint64(i), 0)
+	}
+	s.setFreeVector(base, uint32(1)<<uint(ClassSlots(class))-1)
+}
+
+// LocateLine returns the main-memory address of the overlay cache line
+// for page line `line`, or ok=false if the segment does not hold it.
+func (s *Store) LocateLine(base arch.PhysAddr, line int) (arch.PhysAddr, bool) {
+	class, ok := s.segClass[base]
+	if !ok {
+		panic(fmt.Sprintf("oms: LocateLine on dead segment %#x", uint64(base)))
+	}
+	if class == NumClasses-1 {
+		return base + arch.PhysAddr(line*arch.LineSize), true
+	}
+	slot := s.slotPointer(base, line)
+	if slot == 0 {
+		return 0, false
+	}
+	return base + arch.PhysAddr(slot*arch.LineSize), true
+}
+
+// InsertLine claims a slot for page line `line` and returns its address.
+// full=true means the segment has no free slot (the caller must migrate).
+// Inserting an already-present line returns its existing slot.
+func (s *Store) InsertLine(base arch.PhysAddr, line int) (addr arch.PhysAddr, full bool) {
+	class := s.segClass[base]
+	if class == NumClasses-1 {
+		return base + arch.PhysAddr(line*arch.LineSize), false
+	}
+	if slot := s.slotPointer(base, line); slot != 0 {
+		return base + arch.PhysAddr(slot*arch.LineSize), false
+	}
+	fv := s.freeVector(base)
+	if fv == 0 {
+		return 0, true
+	}
+	slot := 1
+	for fv&1 == 0 {
+		fv >>= 1
+		slot++
+	}
+	s.setFreeVector(base, s.freeVector(base)&^(1<<uint(slot-1)))
+	s.setSlotPointer(base, line, slot)
+	return base + arch.PhysAddr(slot*arch.LineSize), false
+}
+
+// RemoveLine releases the slot held by page line `line` (no-op if absent).
+func (s *Store) RemoveLine(base arch.PhysAddr, line int) {
+	class := s.segClass[base]
+	if class == NumClasses-1 {
+		return
+	}
+	slot := s.slotPointer(base, line)
+	if slot == 0 {
+		return
+	}
+	s.setSlotPointer(base, line, 0)
+	s.setFreeVector(base, s.freeVector(base)|1<<uint(slot-1))
+}
+
+// Migrate moves an overlay into a segment of the next size up, copying
+// every present line (per obits) and freeing the old segment. It returns
+// the new base.
+func (s *Store) Migrate(base arch.PhysAddr, obits arch.OBitVector) (arch.PhysAddr, error) {
+	oldClass := s.segClass[base]
+	if oldClass >= NumClasses-1 {
+		panic("oms: migrating a 4KB segment")
+	}
+	newBase, err := s.AllocSegment(oldClass + 1)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, arch.LineSize)
+	for _, line := range obits.Lines() {
+		src, ok := s.LocateLine(base, line)
+		if !ok {
+			continue // line tracked in OBitVector but not yet written back
+		}
+		dst, full := s.InsertLine(newBase, line)
+		if full {
+			panic("oms: migration target full")
+		}
+		s.copyLine(dst, src, buf)
+	}
+	s.FreeSegment(base)
+	if s.stats != nil {
+		s.stats.Inc("oms.migrations")
+	}
+	return newBase, nil
+}
+
+func (s *Store) copyLine(dst, src arch.PhysAddr, buf []byte) {
+	srcPPN, srcOff := s.metaPPN(src)
+	dstPPN, dstOff := s.metaPPN(dst)
+	for i := 0; i < arch.LineSize; i++ {
+		buf[i] = s.memory.Read(srcPPN, srcOff+uint64(i))
+	}
+	for i := 0; i < arch.LineSize; i++ {
+		s.memory.Write(dstPPN, dstOff+uint64(i), buf[i])
+	}
+}
+
+// ReadLineData copies the 64 data bytes at addr into dst.
+func (s *Store) ReadLineData(addr arch.PhysAddr, dst []byte) {
+	ppn, off := s.metaPPN(addr)
+	for i := 0; i < arch.LineSize; i++ {
+		dst[i] = s.memory.Read(ppn, off+uint64(i))
+	}
+}
+
+// WriteLineData stores 64 bytes at addr.
+func (s *Store) WriteLineData(addr arch.PhysAddr, src []byte) {
+	ppn, off := s.metaPPN(addr)
+	for i := 0; i < arch.LineSize; i++ {
+		s.memory.Write(ppn, off+uint64(i), src[i])
+	}
+}
+
+// FreeSlots returns how many more lines the segment can accept.
+func (s *Store) FreeSlots(base arch.PhysAddr) int {
+	class := s.segClass[base]
+	if class == NumClasses-1 {
+		return arch.LinesPerPage // offsets are never contended
+	}
+	fv := s.freeVector(base)
+	n := 0
+	for fv != 0 {
+		n += int(fv & 1)
+		fv >>= 1
+	}
+	return n
+}

@@ -1,0 +1,389 @@
+package oms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newStore(t *testing.T, frames, memPages int) (*Store, *sim.Stats, *mem.Memory) {
+	t.Helper()
+	m := mem.New(memPages)
+	var st sim.Stats
+	s, err := New(m, &st, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &st, m
+}
+
+func TestClassGeometry(t *testing.T) {
+	wantBytes := []int{256, 512, 1024, 2048, 4096}
+	wantSlots := []int{3, 7, 15, 31, 64}
+	for c := 0; c < NumClasses; c++ {
+		if ClassBytes(c) != wantBytes[c] {
+			t.Errorf("ClassBytes(%d) = %d, want %d", c, ClassBytes(c), wantBytes[c])
+		}
+		if ClassSlots(c) != wantSlots[c] {
+			t.Errorf("ClassSlots(%d) = %d, want %d", c, ClassSlots(c), wantSlots[c])
+		}
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	tests := []struct{ lines, class int }{
+		{0, 0}, {1, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {15, 2}, {16, 3}, {31, 3}, {32, 4}, {64, 4},
+	}
+	for _, tc := range tests {
+		if got := ClassFor(tc.lines); got != tc.class {
+			t.Errorf("ClassFor(%d) = %d, want %d", tc.lines, got, tc.class)
+		}
+	}
+}
+
+func TestAllocSplitsDownFromFrames(t *testing.T) {
+	s, st, _ := newStore(t, 1, 16)
+	base, err := s.AllocSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.SegmentClass(base); !ok {
+		t.Fatal("segment not tracked")
+	}
+	// One 4 KB frame split to 2 KB → 1 KB → 512 B → 256 B: 4 splits.
+	if st.Get("oms.segment_splits") != 4 {
+		t.Fatalf("splits = %d, want 4", st.Get("oms.segment_splits"))
+	}
+	if s.BytesInUse() != 256 {
+		t.Fatalf("BytesInUse = %d, want 256", s.BytesInUse())
+	}
+}
+
+func TestAllocGrowsFromOSWhenDry(t *testing.T) {
+	s, st, m := newStore(t, 1, 16)
+	before := m.AllocatedPages()
+	// Drain the single frame with 4 KB segments, then force a grow.
+	if _, err := s.AllocSegment(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocSegment(4); err != nil {
+		t.Fatal(err)
+	}
+	if m.AllocatedPages() <= before {
+		t.Fatal("store did not request frames from the OS")
+	}
+	if st.Get("oms.frames_granted") < 2 {
+		t.Fatalf("frames_granted = %d", st.Get("oms.frames_granted"))
+	}
+}
+
+func TestAllocFailsWhenOSOutOfMemory(t *testing.T) {
+	s, _, _ := newStore(t, 1, 2) // zero page + 1 frame, OS has nothing more
+	if _, err := s.AllocSegment(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocSegment(4); err == nil {
+		t.Fatal("expected allocation failure")
+	}
+}
+
+func TestFreeSegmentRecycles(t *testing.T) {
+	s, _, _ := newStore(t, 1, 16)
+	base, _ := s.AllocSegment(2)
+	inUse := s.BytesInUse()
+	s.FreeSegment(base)
+	if s.BytesInUse() != inUse-ClassBytes(2) {
+		t.Fatal("BytesInUse not reduced")
+	}
+	base2, _ := s.AllocSegment(2)
+	if base2 != base {
+		t.Fatalf("expected recycled segment %#x, got %#x", uint64(base), uint64(base2))
+	}
+}
+
+func TestFreeUnknownSegmentPanics(t *testing.T) {
+	s, _, _ := newStore(t, 1, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.FreeSegment(arch.PhysAddr(0x123000))
+}
+
+func TestInsertLocateRemove(t *testing.T) {
+	s, _, _ := newStore(t, 1, 16)
+	base, _ := s.AllocSegment(0) // 3 slots
+	if _, ok := s.LocateLine(base, 0); ok {
+		t.Fatal("empty segment located a line")
+	}
+	a0, full := s.InsertLine(base, 0)
+	if full {
+		t.Fatal("segment full too early")
+	}
+	a3, _ := s.InsertLine(base, 3)
+	if a0 == a3 {
+		t.Fatal("two lines share a slot")
+	}
+	got, ok := s.LocateLine(base, 3)
+	if !ok || got != a3 {
+		t.Fatalf("LocateLine(3) = %#x/%v, want %#x", uint64(got), ok, uint64(a3))
+	}
+	// Reinsert returns the same slot.
+	again, _ := s.InsertLine(base, 3)
+	if again != a3 {
+		t.Fatal("reinsert moved the line")
+	}
+	s.RemoveLine(base, 3)
+	if _, ok := s.LocateLine(base, 3); ok {
+		t.Fatal("line still present after remove")
+	}
+	if s.FreeSlots(base) != 2 {
+		t.Fatalf("FreeSlots = %d, want 2", s.FreeSlots(base))
+	}
+}
+
+func TestInsertReportsFull(t *testing.T) {
+	s, _, _ := newStore(t, 1, 16)
+	base, _ := s.AllocSegment(0)
+	for _, line := range []int{1, 2, 3} {
+		if _, full := s.InsertLine(base, line); full {
+			t.Fatal("premature full")
+		}
+	}
+	if _, full := s.InsertLine(base, 4); !full {
+		t.Fatal("expected full segment")
+	}
+}
+
+func TestFigure7Scenario(t *testing.T) {
+	// Figure 7: a 256 B segment holding the first and fourth cache lines
+	// of the page, with slot pointers 1 and 2 and one free slot.
+	s, _, _ := newStore(t, 1, 16)
+	base, _ := s.AllocSegment(0)
+	s.InsertLine(base, 0) // first line → slot 1
+	s.InsertLine(base, 3) // fourth line → slot 2
+	if s.slotPointer(base, 0) != 1 || s.slotPointer(base, 3) != 2 {
+		t.Fatalf("slot pointers = %d,%d, want 1,2", s.slotPointer(base, 0), s.slotPointer(base, 3))
+	}
+	if s.FreeSlots(base) != 1 {
+		t.Fatalf("free slots = %d, want 1", s.FreeSlots(base))
+	}
+	for line := 0; line < arch.LinesPerPage; line++ {
+		if line != 0 && line != 3 && s.slotPointer(base, line) != 0 {
+			t.Fatalf("line %d has spurious pointer", line)
+		}
+	}
+}
+
+func Test4KBSegmentUsesNaturalOffsets(t *testing.T) {
+	s, _, _ := newStore(t, 1, 16)
+	base, _ := s.AllocSegment(4)
+	for _, line := range []int{0, 17, 63} {
+		addr, full := s.InsertLine(base, line)
+		if full {
+			t.Fatal("4KB segment can never be full")
+		}
+		want := base + arch.PhysAddr(line*arch.LineSize)
+		if addr != want {
+			t.Fatalf("line %d at %#x, want natural offset %#x", line, uint64(addr), uint64(want))
+		}
+		if got, ok := s.LocateLine(base, line); !ok || got != want {
+			t.Fatal("LocateLine disagrees")
+		}
+	}
+}
+
+func TestLineDataRoundTrip(t *testing.T) {
+	s, _, _ := newStore(t, 1, 16)
+	base, _ := s.AllocSegment(1)
+	addr, _ := s.InsertLine(base, 9)
+	src := make([]byte, arch.LineSize)
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	s.WriteLineData(addr, src)
+	dst := make([]byte, arch.LineSize)
+	s.ReadLineData(addr, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestMigratePreservesData(t *testing.T) {
+	s, st, _ := newStore(t, 1, 32)
+	base, _ := s.AllocSegment(0)
+	var obits arch.OBitVector
+	payload := map[int]byte{}
+	for i, line := range []int{5, 20, 40} {
+		addr, _ := s.InsertLine(base, line)
+		buf := make([]byte, arch.LineSize)
+		buf[0] = byte(i + 1)
+		s.WriteLineData(addr, buf)
+		obits = obits.Set(line)
+		payload[line] = byte(i + 1)
+	}
+	newBase, err := s.Migrate(base, obits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newBase == base {
+		t.Fatal("migration did not move")
+	}
+	if c, _ := s.SegmentClass(newBase); c != 1 {
+		t.Fatalf("new class = %d, want 1", c)
+	}
+	if _, ok := s.SegmentClass(base); ok {
+		t.Fatal("old segment still live")
+	}
+	buf := make([]byte, arch.LineSize)
+	for line, want := range payload {
+		addr, ok := s.LocateLine(newBase, line)
+		if !ok {
+			t.Fatalf("line %d lost in migration", line)
+		}
+		s.ReadLineData(addr, buf)
+		if buf[0] != want {
+			t.Fatalf("line %d data = %d, want %d", line, buf[0], want)
+		}
+	}
+	if st.Get("oms.migrations") != 1 {
+		t.Fatal("migration not counted")
+	}
+}
+
+func TestMigrateChainToFullPage(t *testing.T) {
+	// Insert 64 lines, migrating whenever full: must end in a 4 KB class.
+	s, _, _ := newStore(t, 4, 64)
+	base, _ := s.AllocSegment(0)
+	var obits arch.OBitVector
+	for line := 0; line < arch.LinesPerPage; line++ {
+		addr, full := s.InsertLine(base, line)
+		if full {
+			nb, err := s.Migrate(base, obits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base = nb
+			addr, full = s.InsertLine(base, line)
+			if full {
+				t.Fatalf("still full after migration at line %d", line)
+			}
+		}
+		buf := make([]byte, arch.LineSize)
+		buf[1] = byte(line)
+		s.WriteLineData(addr, buf)
+		obits = obits.Set(line)
+	}
+	if c, _ := s.SegmentClass(base); c != 4 {
+		t.Fatalf("final class = %d, want 4", c)
+	}
+	buf := make([]byte, arch.LineSize)
+	for line := 0; line < arch.LinesPerPage; line++ {
+		addr, ok := s.LocateLine(base, line)
+		if !ok {
+			t.Fatalf("line %d missing", line)
+		}
+		s.ReadLineData(addr, buf)
+		if buf[1] != byte(line) {
+			t.Fatalf("line %d corrupted", line)
+		}
+	}
+}
+
+func TestSegmentsAreSizeAligned(t *testing.T) {
+	s, _, _ := newStore(t, 2, 32)
+	for c := 0; c < NumClasses; c++ {
+		base, err := s.AllocSegment(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(base)%uint64(ClassBytes(c)) != 0 {
+			t.Fatalf("class %d segment at %#x not size-aligned", c, uint64(base))
+		}
+	}
+}
+
+func TestRandomisedSlotInvariant(t *testing.T) {
+	// Property: at all times, distinct present lines occupy distinct
+	// slots, and FreeSlots + presentLines == ClassSlots.
+	s, _, _ := newStore(t, 2, 32)
+	base, _ := s.AllocSegment(3) // 31 slots
+	rng := rand.New(rand.NewSource(21))
+	present := map[int]bool{}
+	for step := 0; step < 2000; step++ {
+		line := rng.Intn(arch.LinesPerPage)
+		if present[line] && rng.Intn(2) == 0 {
+			s.RemoveLine(base, line)
+			delete(present, line)
+		} else if len(present) < ClassSlots(3) {
+			if _, full := s.InsertLine(base, line); full {
+				t.Fatal("unexpected full")
+			}
+			present[line] = true
+		}
+		if s.FreeSlots(base)+len(present) != ClassSlots(3) {
+			t.Fatalf("slot accounting broken at step %d: free=%d present=%d",
+				step, s.FreeSlots(base), len(present))
+		}
+	}
+	// Distinctness of slots.
+	slots := map[arch.PhysAddr]int{}
+	for line := range present {
+		addr, ok := s.LocateLine(base, line)
+		if !ok {
+			t.Fatalf("line %d lost", line)
+		}
+		if other, dup := slots[addr]; dup {
+			t.Fatalf("lines %d and %d share slot %#x", line, other, uint64(addr))
+		}
+		slots[addr] = line
+	}
+}
+
+func TestBuddyCoalescing(t *testing.T) {
+	s, st, _ := newStore(t, 1, 16)
+	// Carve one frame fully into 256 B segments, then free them all: the
+	// buddies must coalesce back into a single 4 KB segment.
+	var bases []arch.PhysAddr
+	for i := 0; i < 16; i++ {
+		b, err := s.AllocSegment(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, b)
+	}
+	for _, b := range bases {
+		s.FreeSegment(b)
+	}
+	if st.Get("oms.segment_coalesces") == 0 {
+		t.Fatal("no coalescing happened")
+	}
+	// A 4 KB allocation must now succeed without asking the OS for frames.
+	granted := st.Get("oms.frames_granted")
+	if _, err := s.AllocSegment(NumClasses - 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get("oms.frames_granted") != granted {
+		t.Fatal("coalescing failed: 4KB alloc had to grow the store")
+	}
+}
+
+func TestCoalescingStopsAtLiveBuddy(t *testing.T) {
+	s, _, _ := newStore(t, 1, 16)
+	a, _ := s.AllocSegment(0)
+	b, _ := s.AllocSegment(0) // a's buddy (split order pairs them)
+	s.FreeSegment(a)
+	// b is live: freeing a must not merge past it, and b must stay usable.
+	if _, ok := s.SegmentClass(b); !ok {
+		t.Fatal("live segment lost")
+	}
+	if _, full := s.InsertLine(b, 5); full {
+		t.Fatal("live segment unusable after neighbour free")
+	}
+}

@@ -1,0 +1,175 @@
+// Package omt implements the Overlay Mapping Table of §4.2/§4.4.4 and the
+// memory controller's 64-entry OMT cache. The OMT maps each page of the
+// Overlay Address Space (an OPN) to its OBitVector and the base address of
+// the segment holding the overlay in the Overlay Memory Store. It is
+// stored hierarchically like the virtual-to-physical tables and is owned
+// entirely by the memory controller — the OS never walks it.
+package omt
+
+import (
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// Entry is one OMT entry: the page's overlay bit vector and the segment
+// base in the Overlay Memory Store (0 = no segment allocated yet; space
+// is allocated lazily on the first dirty overlay write-back, §4.3.3).
+type Entry struct {
+	OBits   arch.OBitVector
+	SegBase arch.PhysAddr
+}
+
+// Empty reports whether the entry carries no overlay state.
+func (e Entry) Empty() bool { return e.OBits == 0 && e.SegBase == 0 }
+
+// The table is a 4-level radix over the 52 meaningful OPN bits
+// (overlay bit + 15-bit PID + 36-bit VPN), 13 bits per level.
+const (
+	radixLevels = 4
+	radixBits   = 13
+	radixFanout = 1 << radixBits
+	radixMask   = radixFanout - 1
+)
+
+type node struct {
+	children [radixFanout]*node
+	entries  []Entry
+}
+
+// Table is the in-memory OMT.
+type Table struct {
+	root    node
+	lastHop int // interior nodes touched by the last walk (test aid)
+}
+
+func idx(opn arch.OPN, level int) int {
+	shift := uint(radixBits * (radixLevels - 1 - level))
+	return int(uint64(opn)>>shift) & radixMask
+}
+
+// Get returns the entry for opn (zero entry if absent).
+func (t *Table) Get(opn arch.OPN) Entry {
+	if e := t.find(opn); e != nil {
+		return *e
+	}
+	return Entry{}
+}
+
+func (t *Table) find(opn arch.OPN) *Entry {
+	n := &t.root
+	t.lastHop = 0
+	for level := 0; level < radixLevels-1; level++ {
+		t.lastHop++
+		n = n.children[idx(opn, level)]
+		if n == nil {
+			return nil
+		}
+	}
+	if n.entries == nil {
+		return nil
+	}
+	return &n.entries[idx(opn, radixLevels-1)]
+}
+
+// Ref returns a pointer to the entry, materialising the path. The pointer
+// stays valid until Delete.
+func (t *Table) Ref(opn arch.OPN) *Entry {
+	n := &t.root
+	for level := 0; level < radixLevels-1; level++ {
+		i := idx(opn, level)
+		if n.children[i] == nil {
+			n.children[i] = &node{}
+			if level == radixLevels-2 {
+				n.children[i].entries = make([]Entry, radixFanout)
+			}
+		}
+		n = n.children[i]
+	}
+	return &n.entries[idx(opn, radixLevels-1)]
+}
+
+// Delete clears the entry for opn.
+func (t *Table) Delete(opn arch.OPN) {
+	if e := t.find(opn); e != nil {
+		*e = Entry{}
+	}
+}
+
+// Cache is the 64-entry OMT cache in the memory controller (Fig. 6, Ë).
+// It is a latency model over the authoritative Table: entries returned by
+// Lookup point directly into the table, so updates through them are
+// automatically coherent; the cache decides only whether the access costs
+// a hit or a full OMT walk.
+type Cache struct {
+	table   *Table
+	stats   *sim.Stats
+	cap     int
+	hitLat  sim.Cycle
+	missLat sim.Cycle
+	stamps  map[arch.OPN]uint64
+	clock   uint64
+}
+
+// CacheConfig sizes the OMT cache.
+type CacheConfig struct {
+	Entries     int
+	HitLatency  sim.Cycle
+	MissLatency sim.Cycle // the OMT walk (Table 2: 1000 cycles)
+}
+
+// DefaultCacheConfig mirrors Table 2.
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{Entries: 64, HitLatency: 5, MissLatency: 1000}
+}
+
+// NewCache builds the OMT cache over the table.
+func NewCache(cfg CacheConfig, table *Table, stats *sim.Stats) *Cache {
+	return &Cache{
+		table:   table,
+		stats:   stats,
+		cap:     cfg.Entries,
+		hitLat:  cfg.HitLatency,
+		missLat: cfg.MissLatency,
+		stamps:  make(map[arch.OPN]uint64),
+	}
+}
+
+// Lookup returns the (authoritative) entry pointer for opn and the access
+// latency: a cache hit or a full OMT walk that then fills the cache.
+func (c *Cache) Lookup(opn arch.OPN) (*Entry, sim.Cycle) {
+	c.clock++
+	if _, ok := c.stamps[opn]; ok {
+		c.stamps[opn] = c.clock
+		if c.stats != nil {
+			c.stats.Inc("omt.cache_hits")
+		}
+		return c.table.Ref(opn), c.hitLat
+	}
+	if c.stats != nil {
+		c.stats.Inc("omt.cache_misses")
+	}
+	if len(c.stamps) >= c.cap {
+		var victim arch.OPN
+		var oldest uint64 = ^uint64(0)
+		for k, v := range c.stamps {
+			if v < oldest {
+				victim, oldest = k, v
+			}
+		}
+		delete(c.stamps, victim)
+		if c.stats != nil {
+			c.stats.Inc("omt.cache_evictions")
+		}
+	}
+	c.stamps[opn] = c.clock
+	return c.table.Ref(opn), c.missLat
+}
+
+// Contains reports whether opn is cached (no latency, no LRU update).
+func (c *Cache) Contains(opn arch.OPN) bool {
+	_, ok := c.stamps[opn]
+	return ok
+}
+
+// Invalidate drops opn from the cache (promotion/discard actions).
+func (c *Cache) Invalidate(opn arch.OPN) { delete(c.stamps, opn) }

@@ -1,0 +1,105 @@
+// Package sim provides the discrete-event simulation engine and the
+// statistics registry used by every timed component in the system. The
+// engine keeps a priority queue of (cycle, sequence, callback) events and
+// advances the clock to the next event; components express latency by
+// scheduling continuations.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in CPU cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type queuedEvent struct {
+	at  Cycle
+	seq uint64 // tie-break so same-cycle events run in schedule order
+	fn  Event
+}
+
+type eventHeap []queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(queuedEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	Stats  Stats
+}
+
+// NewEngine returns an engine with time at cycle zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn later in
+// the current cycle, after all previously scheduled current-cycle events.
+func (e *Engine) Schedule(delay Cycle, fn Event) {
+	e.seq++
+	heap.Push(&e.events, queuedEvent{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At runs fn at the given absolute cycle, which must not be in the past.
+func (e *Engine) At(cycle Cycle, fn Event) {
+	if cycle < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.Schedule(cycle-e.now, fn)
+}
+
+// Pending reports the number of events not yet run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the next event, advancing the clock to its cycle. It reports
+// whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(queuedEvent)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final cycle.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with cycle ≤ limit. Events scheduled beyond the
+// limit remain queued; the clock is left at the last executed event (or
+// unchanged if none ran).
+func (e *Engine) RunUntil(limit Cycle) {
+	for len(e.events) > 0 && e.events[0].at <= limit {
+		e.Step()
+	}
+}
+
+// RunWhile executes events as long as cond returns true and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a flat registry of named counters. Components record event
+// counts (cache hits, DRAM row conflicts, overlaying writes, …) into the
+// engine's registry so experiments can report them uniformly.
+type Stats struct {
+	counters map[string]uint64
+}
+
+// Add increments the named counter by n, creating it if needed.
+func (s *Stats) Add(name string, n uint64) {
+	if s.counters == nil {
+		s.counters = make(map[string]uint64)
+	}
+	s.counters[name] += n
+}
+
+// Inc increments the named counter by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the counter's value (zero if never touched).
+func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+
+// Reset clears every counter.
+func (s *Stats) Reset() { s.counters = nil }
+
+// Names returns all counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Stats) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders counters one per line, sorted by name.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	for _, name := range s.Names() {
+		fmt.Fprintf(&sb, "%-40s %12d\n", name, s.counters[name])
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// OverlayMatrix is the paper's hardware sparse representation (§5.2): the
+// matrix occupies a dense virtual range whose pages all map to the zero
+// physical page, and every cache line containing a non-zero value lives
+// in the page's overlay. Software runs dense-matrix code; the hardware's
+// overlay computation model iterates only the non-zero (overlay) lines.
+type OverlayMatrix struct {
+	F    *core.Framework
+	Proc *vm.Process
+	Base arch.VirtAddr // matrix origin (page aligned)
+	Rows int
+	Cols int
+}
+
+// BuildOverlay materialises m as an overlay matrix at base in proc's
+// address space. base must be page aligned.
+func BuildOverlay(f *core.Framework, proc *vm.Process, base arch.VirtAddr, m *Matrix) (*OverlayMatrix, error) {
+	if base.Offset() != 0 {
+		return nil, fmt.Errorf("sparse: base %#x not page aligned", uint64(base))
+	}
+	bytes := m.Rows * m.Cols * 8
+	pages := (bytes + arch.PageSize - 1) / arch.PageSize
+	f.VM.MapZero(proc, base.Page(), pages, true)
+	o := &OverlayMatrix{F: f, Proc: proc, Base: base, Rows: m.Rows, Cols: m.Cols}
+	for r := 0; r < m.Rows; r++ {
+		for i, c := range m.RowCols[r] {
+			if err := o.Insert(r, int(c), m.RowVals[r][i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return o, nil
+}
+
+// addr returns the virtual address of element (r, c) in the dense layout.
+func (o *OverlayMatrix) addr(r, c int) arch.VirtAddr {
+	return o.Base + arch.VirtAddr((r*o.Cols+c)*8)
+}
+
+// Insert sets element (r, c): a store that, on a fresh line, triggers a
+// single overlaying write — the O(1) dynamic update the paper contrasts
+// with CSR's array shifting.
+func (o *OverlayMatrix) Insert(r, c int, v float64) error {
+	return o.F.Store64(o.Proc.PID, o.addr(r, c), math.Float64bits(v))
+}
+
+// At reads element (r, c) through the overlay access semantics.
+func (o *OverlayMatrix) At(r, c int) (float64, error) {
+	bits, err := o.F.Load64(o.Proc.PID, o.addr(r, c))
+	return math.Float64frombits(bits), err
+}
+
+// PageLines returns the page count of the matrix region and a callback
+// iterating (vpn, OBitVector) for each page — the information the
+// overlay-aware hardware uses to visit only non-zero lines.
+func (o *OverlayMatrix) Pages() int {
+	bytes := o.Rows * o.Cols * 8
+	return (bytes + arch.PageSize - 1) / arch.PageSize
+}
+
+// OBitsOf returns the overlay bit vector of the i-th matrix page.
+func (o *OverlayMatrix) OBitsOf(page int) arch.OBitVector {
+	obits, _ := o.F.OverlayInfo(o.Proc.PID, o.Base.Page()+arch.VPN(page))
+	return obits
+}
+
+// Multiply computes y = M·x functionally using the overlay computation
+// model: only overlay (non-zero) lines are visited; every value in a
+// visited line participates (zero padding contributes nothing).
+func (o *OverlayMatrix) Multiply(x []float64) ([]float64, error) {
+	if len(x) != o.Cols {
+		return nil, fmt.Errorf("sparse: dimension mismatch")
+	}
+	y := make([]float64, o.Rows)
+	linesPerRow := o.Cols / ValuesPerLine
+	var buf [arch.LineSize]byte
+	for page := 0; page < o.Pages(); page++ {
+		obits := o.OBitsOf(page)
+		if obits.Empty() {
+			continue
+		}
+		pageVA := o.Base + arch.VirtAddr(page)*arch.PageSize
+		for _, line := range obits.Lines() {
+			va := pageVA + arch.VirtAddr(line*arch.LineSize)
+			globalLine := int(uint64(va-o.Base) >> arch.LineShift)
+			row := globalLine / linesPerRow
+			firstCol := (globalLine % linesPerRow) * ValuesPerLine
+			if err := o.F.Load(o.Proc.PID, va, buf[:]); err != nil {
+				return nil, err
+			}
+			for k := 0; k < ValuesPerLine; k++ {
+				bits := uint64(0)
+				for b := 0; b < 8; b++ {
+					bits |= uint64(buf[k*8+b]) << (8 * b)
+				}
+				v := math.Float64frombits(bits)
+				if v != 0 {
+					y[row] += v * x[firstCol+k]
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// MemoryBytes returns the representation's true footprint: the Overlay
+// Memory Store segments backing the matrix pages (metadata lines and
+// segment rounding included). The shared zero page is free.
+func (o *OverlayMatrix) MemoryBytes() int {
+	total := 0
+	for page := 0; page < o.Pages(); page++ {
+		_, b := o.F.OverlayInfo(o.Proc.PID, o.Base.Page()+arch.VPN(page))
+		total += b
+	}
+	return total
+}
+
+// LineBytes returns the overlay data bytes alone — 64 B per non-zero
+// line, the accounting Figure 10/11 of the paper uses (segment rounding
+// and metadata excluded; MemoryBytes reports the full engineering cost).
+func (o *OverlayMatrix) LineBytes() int {
+	total := 0
+	for page := 0; page < o.Pages(); page++ {
+		obits, _ := o.F.OverlayInfo(o.Proc.PID, o.Base.Page()+arch.VPN(page))
+		total += obits.Count() * arch.LineSize
+	}
+	return total
+}

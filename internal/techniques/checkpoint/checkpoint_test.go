@@ -1,0 +1,232 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func newRegion(t *testing.T, pages int) (*core.Framework, *vm.Process, *Checkpointer) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 4096
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.VM.NewProcess()
+	if err := f.VM.MapAnon(p, 0, pages); err != nil {
+		t.Fatal(err)
+	}
+	return f, p, New(f, p, 0, pages)
+}
+
+func TestTakeCapturesOnlyDeltas(t *testing.T) {
+	f, p, c := newRegion(t, 8)
+	f.Store(p.PID, 0, []byte{1}) // pre-Begin state
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 3 lines on 2 pages.
+	f.Store(p.PID, 0, []byte{2})
+	f.Store(p.PID, 5*arch.LineSize, []byte{3})
+	f.Store(p.PID, arch.PageSize+100, []byte{4})
+
+	cp, err := c.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(cp.Deltas))
+	}
+	if cp.PagesDirty != 2 {
+		t.Fatalf("dirty pages = %d, want 2", cp.PagesDirty)
+	}
+	if cp.Bytes() != 3*arch.LineSize {
+		t.Fatalf("bytes = %d", cp.Bytes())
+	}
+	if cp.FullPageBytes() != 2*arch.PageSize {
+		t.Fatalf("full-page bytes = %d", cp.FullPageBytes())
+	}
+	if cp.Bytes() >= cp.FullPageBytes() {
+		t.Fatal("overlay checkpoint not smaller than page checkpoint")
+	}
+}
+
+func TestSuccessiveCheckpointsArePreciseDeltas(t *testing.T) {
+	f, p, c := newRegion(t, 4)
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	f.Store(p.PID, 0, []byte{1})
+	cp1, _ := c.Take()
+	// Same line again plus a new one.
+	f.Store(p.PID, 0, []byte{2})
+	f.Store(p.PID, arch.LineSize, []byte{3})
+	cp2, err := c.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp1.Deltas) != 1 || len(cp2.Deltas) != 2 {
+		t.Fatalf("delta counts = %d,%d, want 1,2", len(cp1.Deltas), len(cp2.Deltas))
+	}
+	// An interval with no writes produces an empty checkpoint.
+	cp3, _ := c.Take()
+	if len(cp3.Deltas) != 0 {
+		t.Fatalf("idle checkpoint has %d deltas", len(cp3.Deltas))
+	}
+}
+
+func TestDataIntactAfterTake(t *testing.T) {
+	f, p, c := newRegion(t, 2)
+	c.Begin()
+	f.Store(p.PID, 100, []byte{42})
+	c.Take()
+	var b [1]byte
+	f.Load(p.PID, 100, b[:])
+	if b[0] != 42 {
+		t.Fatal("commit lost the data")
+	}
+	// Writes continue to be captured after Take re-arms.
+	f.Store(p.PID, 100, []byte{43})
+	cp, _ := c.Take()
+	if len(cp.Deltas) != 1 {
+		t.Fatal("re-arm failed")
+	}
+}
+
+func TestRestoreToBaseline(t *testing.T) {
+	f, p, c := newRegion(t, 2)
+	f.Store(p.PID, 0, []byte{10})
+	c.Begin()
+	f.Store(p.PID, 0, []byte{11})
+	c.Take()
+	f.Store(p.PID, 0, []byte{12})
+	c.Take()
+	if err := c.RestoreTo(0); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	f.Load(p.PID, 0, b[:])
+	if b[0] != 10 {
+		t.Fatalf("baseline restore = %d, want 10", b[0])
+	}
+	if len(c.History()) != 0 {
+		t.Fatal("history not truncated")
+	}
+}
+
+func TestRestoreToIntermediate(t *testing.T) {
+	f, p, c := newRegion(t, 2)
+	f.Store(p.PID, 0, []byte{10})
+	c.Begin()
+	f.Store(p.PID, 0, []byte{11})
+	f.Store(p.PID, 999, []byte{1})
+	c.Take() // seq 1
+	f.Store(p.PID, 0, []byte{12})
+	c.Take()                      // seq 2
+	f.Store(p.PID, 0, []byte{13}) // uncheckpointed
+
+	if err := c.RestoreTo(1); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	f.Load(p.PID, 0, b[:])
+	if b[0] != 11 {
+		t.Fatalf("restore(1) = %d, want 11", b[0])
+	}
+	f.Load(p.PID, 999, b[:])
+	if b[0] != 1 {
+		t.Fatal("restore lost sibling line")
+	}
+	// Capture still works after restore.
+	f.Store(p.PID, 0, []byte{20})
+	cp, err := c.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Deltas) == 0 {
+		t.Fatal("capture dead after restore")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	f, p, c := newRegion(t, 2)
+	if _, err := c.Take(); err == nil {
+		t.Fatal("Take before Begin must fail")
+	}
+	if err := c.RestoreTo(5); err == nil {
+		t.Fatal("RestoreTo past history must fail")
+	}
+	c.Begin()
+	if err := c.Begin(); err == nil {
+		t.Fatal("double Begin must fail")
+	}
+	_ = p
+	_ = f
+}
+
+func TestBeginRejectsSharedPages(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 4096
+	f, _ := core.New(cfg)
+	p := f.VM.NewProcess()
+	f.VM.MapAnon(p, 0, 1)
+	f.Fork(p, false)
+	c := New(f, p, 0, 1)
+	if err := c.Begin(); err == nil {
+		t.Fatal("Begin on shared pages must fail")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f, p, c := newRegion(t, 4)
+	c.Begin()
+	f.Store(p.PID, 0, []byte{1, 2, 3})
+	f.Store(p.PID, 3*arch.PageSize+999, []byte{9})
+	cp, err := c.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := cp.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	// Backing-store cost ≈ line data plus a few header bytes.
+	if buf.Len() > cp.Bytes()+64 {
+		t.Fatalf("serialised %d bytes for %d bytes of deltas", buf.Len(), cp.Bytes())
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != cp.Seq || len(got.Deltas) != len(cp.Deltas) || got.PagesDirty != cp.PagesDirty {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, cp)
+	}
+	for i := range cp.Deltas {
+		if got.Deltas[i] != cp.Deltas[i] {
+			t.Fatalf("delta %d differs", i)
+		}
+	}
+}
+
+func TestReadCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("not a checkpoint stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream after valid header.
+	var buf bytes.Buffer
+	cp := &Checkpoint{Seq: 1, Deltas: []Delta{{VPN: 1, Line: 2}}}
+	cp.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadCheckpoint(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

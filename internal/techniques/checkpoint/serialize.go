@@ -1,0 +1,108 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+)
+
+// Binary backing-store format for one checkpoint: §5.3.2's "only these
+// overlays need to be written to the backing store".
+//
+//	magic   "POCKPT1\n"
+//	seq     uvarint
+//	count   uvarint
+//	records count × { vpn uvarint, line uvarint, data [64]byte }
+
+var ckptMagic = [8]byte{'P', 'O', 'C', 'K', 'P', 'T', '1', '\n'}
+
+// WriteTo serialises the checkpoint; the byte count is the backing-store
+// write bandwidth the mechanism consumes.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	written := int64(0)
+	n, err := bw.Write(ckptMagic[:])
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("checkpoint: write magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		n, err := bw.Write(buf[:k])
+		written += int64(n)
+		return err
+	}
+	if err := putUvarint(uint64(c.Seq)); err != nil {
+		return written, err
+	}
+	if err := putUvarint(uint64(len(c.Deltas))); err != nil {
+		return written, err
+	}
+	for _, d := range c.Deltas {
+		if err := putUvarint(uint64(d.VPN)); err != nil {
+			return written, err
+		}
+		if err := putUvarint(uint64(d.Line)); err != nil {
+			return written, err
+		}
+		n, err := bw.Write(d.Data[:])
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("checkpoint: write delta: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadCheckpoint deserialises one checkpoint from the backing store.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: read magic: %w", err)
+	}
+	if hdr != ckptMagic {
+		return nil, errors.New("checkpoint: bad magic (not a POCKPT1 stream)")
+	}
+	seq, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: seq: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: count: %w", err)
+	}
+	cp := &Checkpoint{Seq: int(seq)}
+	pages := map[arch.VPN]bool{}
+	for i := uint64(0); i < count; i++ {
+		var d Delta
+		vpn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: delta %d vpn: %w", i, err)
+		}
+		line, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: delta %d line: %w", i, err)
+		}
+		if line >= arch.LinesPerPage {
+			return nil, fmt.Errorf("checkpoint: delta %d has line %d out of range", i, line)
+		}
+		d.VPN = arch.VPN(vpn)
+		d.Line = int(line)
+		if _, err := io.ReadFull(br, d.Data[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: delta %d data: %w", i, err)
+		}
+		cp.Deltas = append(cp.Deltas, d)
+		pages[d.VPN] = true
+	}
+	cp.PagesDirty = len(pages)
+	return cp, nil
+}

@@ -1,0 +1,158 @@
+// Package dedup implements fine-grained memory deduplication on top of
+// the page-overlay framework (§5.3.1). Like the Difference Engine, pages
+// with mostly identical contents are folded onto a single base physical
+// page; unlike the software Difference Engine, the differing cache lines
+// live in each page's overlay, so patched pages remain directly
+// accessible — no software patching on the access path.
+package dedup
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Page identifies one virtual page of one process.
+type Page struct {
+	Proc *vm.Process
+	VPN  arch.VPN
+}
+
+// Deduplicator folds near-duplicate pages.
+type Deduplicator struct {
+	f *core.Framework
+	// MaxDiffLines bounds how different a page may be from its base and
+	// still be folded (the paper's "mostly same data").
+	MaxDiffLines int
+
+	FoldedPages int
+	BytesSaved  int
+}
+
+// New creates a deduplicator. maxDiffLines of 16 folds pages that share
+// at least 75 % of their lines.
+func New(f *core.Framework, maxDiffLines int) *Deduplicator {
+	return &Deduplicator{f: f, MaxDiffLines: maxDiffLines}
+}
+
+// DiffLines returns the indices of cache lines on which the two pages
+// currently differ (through overlay semantics).
+func (d *Deduplicator) DiffLines(a, b Page) ([]int, error) {
+	var la, lb [arch.LineSize]byte
+	var diff []int
+	for line := 0; line < arch.LinesPerPage; line++ {
+		va := arch.VirtAddr(uint64(line) << arch.LineShift)
+		if err := d.f.Load(a.Proc.PID, a.VPN.Addr()+va, la[:]); err != nil {
+			return nil, err
+		}
+		if err := d.f.Load(b.Proc.PID, b.VPN.Addr()+va, lb[:]); err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(la[:], lb[:]) {
+			diff = append(diff, line)
+		}
+	}
+	return diff, nil
+}
+
+// Fold deduplicates dup against base: if they differ in at most
+// MaxDiffLines lines, dup is remapped onto base's physical page with its
+// differing lines stored in dup's overlay. Both pages become
+// copy-on-write so later writes diverge safely through overlays.
+func (d *Deduplicator) Fold(base, dup Page) (bool, error) {
+	basePTE := base.Proc.Table.Lookup(base.VPN)
+	dupPTE := dup.Proc.Table.Lookup(dup.VPN)
+	if basePTE == nil || dupPTE == nil {
+		return false, fmt.Errorf("dedup: unmapped page")
+	}
+	if basePTE.PPN == dupPTE.PPN {
+		return false, nil // already share a frame
+	}
+	obits, _ := d.f.OverlayInfo(dup.Proc.PID, dup.VPN)
+	if !obits.Empty() {
+		return false, fmt.Errorf("dedup: dup page already has an overlay")
+	}
+	diff, err := d.DiffLines(base, dup)
+	if err != nil {
+		return false, err
+	}
+	if len(diff) > d.MaxDiffLines {
+		return false, nil
+	}
+
+	// Capture dup's differing lines before the remap changes what reads
+	// return.
+	patches := make(map[int][arch.LineSize]byte, len(diff))
+	for _, line := range diff {
+		var buf [arch.LineSize]byte
+		va := dup.VPN.Addr() + arch.VirtAddr(uint64(line)<<arch.LineShift)
+		if err := d.f.Load(dup.Proc.PID, va, buf[:]); err != nil {
+			return false, err
+		}
+		patches[line] = buf
+	}
+
+	// Fold: dup shares base's frame; base itself becomes COW so its owner
+	// cannot mutate shared data in place.
+	if err := d.f.VM.ShareFrame(dup.Proc, dup.VPN, basePTE.PPN, true); err != nil {
+		return false, err
+	}
+	basePTE.COW = true
+	basePTE.Writable = false
+	basePTE.Overlay = true
+
+	// Store the differences: each store is an overlaying write into dup's
+	// overlay.
+	for _, line := range diff {
+		buf := patches[line]
+		va := dup.VPN.Addr() + arch.VirtAddr(uint64(line)<<arch.LineShift)
+		if err := d.f.Store(dup.Proc.PID, va, buf[:]); err != nil {
+			return false, err
+		}
+	}
+
+	d.FoldedPages++
+	d.BytesSaved += arch.PageSize - segmentBytesFor(len(diff))
+	d.f.Engine.Stats.Inc("dedup.folds")
+	return true, nil
+}
+
+// ScanAndFold greedily folds every page in the set onto the first page it
+// matches, returning the number of folds.
+func (d *Deduplicator) ScanAndFold(pages []Page) (int, error) {
+	folds := 0
+	var bases []Page
+	for _, p := range pages {
+		folded := false
+		for _, b := range bases {
+			ok, err := d.Fold(b, p)
+			if err != nil {
+				return folds, err
+			}
+			if ok {
+				folds++
+				folded = true
+				break
+			}
+		}
+		if !folded {
+			bases = append(bases, p)
+		}
+	}
+	return folds, nil
+}
+
+// segmentBytesFor approximates the OMS cost of an overlay with n lines.
+func segmentBytesFor(n int) int {
+	if n == 0 {
+		return 0
+	}
+	size := 256
+	for size < arch.PageSize && (size/arch.LineSize-1) < n {
+		size *= 2
+	}
+	return size
+}

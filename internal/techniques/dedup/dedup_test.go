@@ -1,0 +1,178 @@
+package dedup
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func newFW(t *testing.T) *core.Framework {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 4096
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// fillPage writes a recognisable pattern, then patches `diff` lines.
+func fillPage(t *testing.T, f *core.Framework, p *vm.Process, vpn arch.VPN, pattern byte, diffLines []int) {
+	t.Helper()
+	buf := make([]byte, arch.PageSize)
+	for i := range buf {
+		buf[i] = pattern
+	}
+	for _, line := range diffLines {
+		for i := 0; i < arch.LineSize; i++ {
+			buf[line*arch.LineSize+i] = pattern ^ 0xff
+		}
+	}
+	if err := f.Store(p.PID, vpn.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	f := newFW(t)
+	p := f.VM.NewProcess()
+	f.VM.MapAnon(p, 0, 2)
+	fillPage(t, f, p, 0, 0x11, nil)
+	fillPage(t, f, p, 1, 0x11, []int{3, 40})
+	d := New(f, 16)
+	diff, err := d.DiffLines(Page{p, 0}, Page{p, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 2 || diff[0] != 3 || diff[1] != 40 {
+		t.Fatalf("diff = %v", diff)
+	}
+}
+
+func TestFoldSavesMemoryAndPreservesContents(t *testing.T) {
+	f := newFW(t)
+	p := f.VM.NewProcess()
+	f.VM.MapAnon(p, 0, 2)
+	fillPage(t, f, p, 0, 0x22, nil)
+	fillPage(t, f, p, 1, 0x22, []int{7})
+
+	framesBefore := f.Mem.AllocatedPages()
+	d := New(f, 16)
+	ok, err := d.Fold(Page{p, 0}, Page{p, 1})
+	if err != nil || !ok {
+		t.Fatalf("fold: ok=%v err=%v", ok, err)
+	}
+	// One frame released (the dup page's).
+	if f.Mem.AllocatedPages() >= framesBefore {
+		t.Fatal("fold released no frame")
+	}
+	// Both pages read back exactly as before.
+	var b [arch.LineSize]byte
+	f.Load(p.PID, arch.PageSize+7*arch.LineSize, b[:])
+	for _, x := range b {
+		if x != 0x22^0xff {
+			t.Fatalf("dup's differing line corrupted: %#x", x)
+		}
+	}
+	f.Load(p.PID, arch.PageSize, b[:])
+	for _, x := range b {
+		if x != 0x22 {
+			t.Fatalf("dup's shared line corrupted: %#x", x)
+		}
+	}
+	f.Load(p.PID, 7*arch.LineSize, b[:])
+	for _, x := range b {
+		if x != 0x22 {
+			t.Fatalf("base corrupted: %#x", x)
+		}
+	}
+	if d.FoldedPages != 1 || d.BytesSaved <= 0 {
+		t.Fatalf("stats: %+v", d)
+	}
+}
+
+func TestFoldedPagesDivergeOnWrite(t *testing.T) {
+	f := newFW(t)
+	p := f.VM.NewProcess()
+	f.VM.MapAnon(p, 0, 2)
+	fillPage(t, f, p, 0, 0x33, nil)
+	fillPage(t, f, p, 1, 0x33, nil)
+	d := New(f, 16)
+	if ok, err := d.Fold(Page{p, 0}, Page{p, 1}); !ok || err != nil {
+		t.Fatalf("fold failed: %v %v", ok, err)
+	}
+	// Write to the base page after folding: must not leak into dup.
+	if err := f.Store(p.PID, 100, []byte{0x99}); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	f.Load(p.PID, arch.PageSize+100, b[:])
+	if b[0] != 0x33 {
+		t.Fatalf("dup observed base's write: %#x", b[0])
+	}
+	f.Load(p.PID, 100, b[:])
+	if b[0] != 0x99 {
+		t.Fatal("base lost its write")
+	}
+}
+
+func TestFoldRejectsTooDifferent(t *testing.T) {
+	f := newFW(t)
+	p := f.VM.NewProcess()
+	f.VM.MapAnon(p, 0, 2)
+	fillPage(t, f, p, 0, 0x44, nil)
+	fillPage(t, f, p, 1, 0x44, []int{0, 1, 2, 3, 4})
+	d := New(f, 3)
+	ok, err := d.Fold(Page{p, 0}, Page{p, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fold accepted a page above the diff threshold")
+	}
+}
+
+func TestScanAndFold(t *testing.T) {
+	f := newFW(t)
+	p := f.VM.NewProcess()
+	f.VM.MapAnon(p, 0, 4)
+	fillPage(t, f, p, 0, 0x55, nil)
+	fillPage(t, f, p, 1, 0x55, []int{1})  // folds onto 0
+	fillPage(t, f, p, 2, 0xaa, nil)       // new base
+	fillPage(t, f, p, 3, 0x55, []int{60}) // folds onto 0
+	d := New(f, 8)
+	folds, err := d.ScanAndFold([]Page{{p, 0}, {p, 1}, {p, 2}, {p, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folds != 2 {
+		t.Fatalf("folds = %d, want 2", folds)
+	}
+	if f.Engine.Stats.Get("dedup.folds") != 2 {
+		t.Fatal("stat mismatch")
+	}
+}
+
+func TestFoldAcrossProcesses(t *testing.T) {
+	// The VM-deduplication use case: same guest pages in two processes.
+	f := newFW(t)
+	p1 := f.VM.NewProcess()
+	p2 := f.VM.NewProcess()
+	f.VM.MapAnon(p1, 0, 1)
+	f.VM.MapAnon(p2, 0, 1)
+	fillPage(t, f, p1, 0, 0x66, nil)
+	fillPage(t, f, p2, 0, 0x66, []int{12})
+	d := New(f, 16)
+	ok, err := d.Fold(Page{p1, 0}, Page{p2, 0})
+	if !ok || err != nil {
+		t.Fatalf("cross-process fold: %v %v", ok, err)
+	}
+	var b [1]byte
+	f.Load(p2.PID, 12*arch.LineSize, b[:])
+	if b[0] != 0x66^0xff {
+		t.Fatal("p2's difference lost")
+	}
+}

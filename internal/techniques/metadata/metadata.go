@@ -1,0 +1,107 @@
+// Package metadata implements fine-grained metadata management (§5.3.4):
+// the Overlay Address Space serves as shadow memory for a process's data
+// pages. Regular loads and stores see only the data; the metadata
+// load/store operations (the paper's proposed new instructions, here the
+// ShadowLoad/ShadowStore framework calls) see only the overlay. One byte
+// of shadow per data byte supports taint tracking, access-watch bits, or
+// word-granularity protection with no metadata-specific hardware.
+package metadata
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Shadow manages the shadow space of one process region.
+type Shadow struct {
+	f    *core.Framework
+	proc *vm.Process
+}
+
+// Attach enables shadow mode on [baseVPN, baseVPN+pages).
+func Attach(f *core.Framework, proc *vm.Process, baseVPN arch.VPN, pages int) (*Shadow, error) {
+	for i := 0; i < pages; i++ {
+		pte := proc.Table.Lookup(baseVPN + arch.VPN(i))
+		if pte == nil {
+			return nil, fmt.Errorf("metadata: vpn %#x unmapped", uint64(baseVPN)+uint64(i))
+		}
+		pte.Shadow = true
+	}
+	return &Shadow{f: f, proc: proc}, nil
+}
+
+// Set writes metadata bytes for the data at va.
+func (s *Shadow) Set(va arch.VirtAddr, meta []byte) error {
+	return s.f.ShadowStore(s.proc.PID, va, meta)
+}
+
+// Get reads metadata bytes for the data at va (zero when never set).
+func (s *Shadow) Get(va arch.VirtAddr, buf []byte) error {
+	return s.f.ShadowLoad(s.proc.PID, va, buf)
+}
+
+// Taint-tracking convenience layer: one shadow byte per data byte,
+// non-zero meaning tainted (the FlexiTaint/memcheck use case).
+
+// TaintRange marks [va, va+n) tainted with the given label (non-zero).
+func (s *Shadow) TaintRange(va arch.VirtAddr, n int, label byte) error {
+	if label == 0 {
+		return fmt.Errorf("metadata: taint label must be non-zero")
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = label
+	}
+	return s.Set(va, buf)
+}
+
+// ClearTaint untaints [va, va+n).
+func (s *Shadow) ClearTaint(va arch.VirtAddr, n int) error {
+	return s.Set(va, make([]byte, n))
+}
+
+// Tainted reports whether any byte in [va, va+n) is tainted, and the
+// first label found.
+func (s *Shadow) Tainted(va arch.VirtAddr, n int) (bool, byte, error) {
+	buf := make([]byte, n)
+	if err := s.Get(va, buf); err != nil {
+		return false, 0, err
+	}
+	for _, b := range buf {
+		if b != 0 {
+			return true, b, nil
+		}
+	}
+	return false, 0, nil
+}
+
+// PropagateTaint implements the canonical taint rule for a move/ALU op:
+// dst's taint becomes the OR of the sources' taints.
+func (s *Shadow) PropagateTaint(dst arch.VirtAddr, n int, srcs ...arch.VirtAddr) error {
+	out := make([]byte, n)
+	tmp := make([]byte, n)
+	for _, src := range srcs {
+		if err := s.Get(src, tmp); err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] |= tmp[i]
+		}
+	}
+	return s.Set(dst, out)
+}
+
+// ShadowBytes reports the Overlay Memory Store bytes consumed by the
+// region's metadata — proportional to metadata actually written, not to
+// the data footprint.
+func (s *Shadow) ShadowBytes(baseVPN arch.VPN, pages int) int {
+	total := 0
+	for i := 0; i < pages; i++ {
+		_, b := s.f.OverlayInfo(s.proc.PID, baseVPN+arch.VPN(i))
+		total += b
+	}
+	return total
+}

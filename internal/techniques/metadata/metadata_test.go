@@ -1,0 +1,147 @@
+package metadata
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func setup(t *testing.T, pages int) (*core.Framework, *vm.Process, *Shadow) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 4096
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.VM.NewProcess()
+	if err := f.VM.MapAnon(p, 0, pages); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Attach(f, p, 0, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, p, s
+}
+
+func TestMetadataIndependentOfData(t *testing.T) {
+	f, p, s := setup(t, 1)
+	f.Store(p.PID, 64, []byte{0xaa})
+	if err := s.Set(64, []byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	var data, meta [1]byte
+	f.Load(p.PID, 64, data[:])
+	s.Get(64, meta[:])
+	if data[0] != 0xaa || meta[0] != 0x01 {
+		t.Fatalf("data=%#x meta=%#x", data[0], meta[0])
+	}
+	// Overwriting data leaves metadata alone.
+	f.Store(p.PID, 64, []byte{0xbb})
+	s.Get(64, meta[:])
+	if meta[0] != 0x01 {
+		t.Fatal("data store clobbered metadata")
+	}
+}
+
+func TestUnsetMetadataIsZero(t *testing.T) {
+	_, _, s := setup(t, 1)
+	buf := make([]byte, 256)
+	if err := s.Get(512, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unset metadata non-zero")
+		}
+	}
+}
+
+func TestTaintLifecycle(t *testing.T) {
+	_, _, s := setup(t, 2)
+	if err := s.TaintRange(100, 16, 0x7); err != nil {
+		t.Fatal(err)
+	}
+	tainted, label, err := s.Tainted(100, 16)
+	if err != nil || !tainted || label != 0x7 {
+		t.Fatalf("tainted=%v label=%#x err=%v", tainted, label, err)
+	}
+	// Byte granularity: the neighbour is clean.
+	tainted, _, _ = s.Tainted(116, 4)
+	if tainted {
+		t.Fatal("neighbouring bytes tainted")
+	}
+	s.ClearTaint(100, 16)
+	tainted, _, _ = s.Tainted(100, 16)
+	if tainted {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestTaintZeroLabelRejected(t *testing.T) {
+	_, _, s := setup(t, 1)
+	if err := s.TaintRange(0, 4, 0); err == nil {
+		t.Fatal("zero label accepted")
+	}
+}
+
+func TestPropagateTaint(t *testing.T) {
+	_, _, s := setup(t, 2)
+	s.TaintRange(0, 8, 0x1)
+	s.TaintRange(64, 8, 0x2)
+	if err := s.PropagateTaint(4096, 8, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	tainted, label, _ := s.Tainted(4096, 8)
+	if !tainted || label != 0x3 {
+		t.Fatalf("propagated label = %#x, want OR = 0x3", label)
+	}
+	// Propagating from clean sources untaints the destination.
+	if err := s.PropagateTaint(4096, 8, 128, 256); err != nil {
+		t.Fatal(err)
+	}
+	tainted, _, _ = s.Tainted(4096, 8)
+	if tainted {
+		t.Fatal("clean propagation left taint")
+	}
+}
+
+func TestTaintCrossesPages(t *testing.T) {
+	_, _, s := setup(t, 2)
+	if err := s.TaintRange(arch.PageSize-8, 16, 0x5); err != nil {
+		t.Fatal(err)
+	}
+	tainted, _, _ := s.Tainted(arch.PageSize-8, 16)
+	if !tainted {
+		t.Fatal("cross-page taint lost")
+	}
+}
+
+func TestShadowBytesProportionalToUse(t *testing.T) {
+	_, _, s := setup(t, 8)
+	if s.ShadowBytes(0, 8) != 0 {
+		t.Fatal("untouched shadow consumes memory")
+	}
+	s.TaintRange(0, 4, 1)
+	used := s.ShadowBytes(0, 8)
+	if used == 0 || used > 512 {
+		t.Fatalf("one tainted line costs %d bytes", used)
+	}
+	// Full data footprint would be 8 pages; shadow is tiny.
+	if used >= 8*arch.PageSize {
+		t.Fatal("shadow not fine-grained")
+	}
+}
+
+func TestAttachRequiresMappedPages(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 256
+	f, _ := core.New(cfg)
+	p := f.VM.NewProcess()
+	if _, err := Attach(f, p, 0, 1); err == nil {
+		t.Fatal("attach on unmapped pages must fail")
+	}
+}

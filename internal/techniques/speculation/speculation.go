@@ -1,0 +1,112 @@
+// Package speculation virtualises hardware speculation with page overlays
+// (§5.3.3): speculative memory updates are buffered in the overlays of
+// the pages a region covers, so speculation is bounded by Overlay Memory
+// Store capacity rather than cache capacity — evicting a speculatively
+// written line spills it to the OMS instead of aborting (the limitation
+// of cache-based transactional memory the paper cites). Commit and abort
+// map directly onto the framework's commit/discard promotion actions.
+package speculation
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// State tracks a region's lifecycle.
+type State int
+
+const (
+	// Active means speculative updates are being buffered.
+	Active State = iota
+	// Committed means updates were made architectural.
+	Committed
+	// Aborted means updates were discarded.
+	Aborted
+)
+
+type savedFlags struct {
+	writable bool
+	cow      bool
+	overlay  bool
+}
+
+// Region is one speculative execution scope over a set of pages.
+type Region struct {
+	f     *core.Framework
+	proc  *vm.Process
+	vpns  []arch.VPN
+	saved map[arch.VPN]savedFlags
+	state State
+}
+
+// Begin opens a speculative region over the given pages, which must be
+// private (unshared) and writable.
+func Begin(f *core.Framework, proc *vm.Process, vpns []arch.VPN) (*Region, error) {
+	r := &Region{f: f, proc: proc, vpns: vpns, saved: make(map[arch.VPN]savedFlags)}
+	for _, vpn := range vpns {
+		pte := proc.Table.Lookup(vpn)
+		if pte == nil {
+			return nil, fmt.Errorf("speculation: vpn %#x unmapped", uint64(vpn))
+		}
+		if f.VM.Refs(pte.PPN) != 1 {
+			return nil, fmt.Errorf("speculation: vpn %#x shares its frame", uint64(vpn))
+		}
+		if obits, _ := f.OverlayInfo(proc.PID, vpn); !obits.Empty() {
+			return nil, fmt.Errorf("speculation: vpn %#x already has an overlay", uint64(vpn))
+		}
+		r.saved[vpn] = savedFlags{writable: pte.Writable, cow: pte.COW, overlay: pte.Overlay}
+		pte.Writable = false
+		pte.COW = true
+		pte.Overlay = true
+	}
+	f.Engine.Stats.Inc("speculation.begins")
+	return r, nil
+}
+
+// SpeculativeLines returns how many cache lines the region has buffered.
+func (r *Region) SpeculativeLines() int {
+	n := 0
+	for _, vpn := range r.vpns {
+		obits, _ := r.f.OverlayInfo(r.proc.PID, vpn)
+		n += obits.Count()
+	}
+	return n
+}
+
+// State returns the region's lifecycle state.
+func (r *Region) State() State { return r.state }
+
+// Commit makes the buffered updates architectural.
+func (r *Region) Commit() error { return r.finish(core.Commit, Committed) }
+
+// Abort discards the buffered updates; the pages revert to their
+// pre-speculation contents.
+func (r *Region) Abort() error { return r.finish(core.Discard, Aborted) }
+
+func (r *Region) finish(action core.PromoteAction, next State) error {
+	if r.state != Active {
+		return fmt.Errorf("speculation: region already finished")
+	}
+	for _, vpn := range r.vpns {
+		if obits, _ := r.f.OverlayInfo(r.proc.PID, vpn); !obits.Empty() {
+			if err := r.f.Promote(r.proc, vpn, action); err != nil {
+				return err
+			}
+		}
+		pte := r.proc.Table.Lookup(vpn)
+		flags := r.saved[vpn]
+		pte.Writable = flags.writable
+		pte.COW = flags.cow
+		pte.Overlay = flags.overlay
+	}
+	r.state = next
+	if next == Committed {
+		r.f.Engine.Stats.Inc("speculation.commits")
+	} else {
+		r.f.Engine.Stats.Inc("speculation.aborts")
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package speculation
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func setup(t *testing.T, pages int) (*core.Framework, *vm.Process) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 8192
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.VM.NewProcess()
+	if err := f.VM.MapAnon(p, 0, pages); err != nil {
+		t.Fatal(err)
+	}
+	return f, p
+}
+
+func TestCommitMakesUpdatesArchitectural(t *testing.T) {
+	f, p := setup(t, 2)
+	f.Store(p.PID, 0, []byte{1})
+	r, err := Begin(f, p, []arch.VPN{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Store(p.PID, 0, []byte{2})
+	f.Store(p.PID, arch.PageSize, []byte{3})
+	if r.SpeculativeLines() != 2 {
+		t.Fatalf("speculative lines = %d", r.SpeculativeLines())
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	f.Load(p.PID, 0, b[:])
+	if b[0] != 2 {
+		t.Fatalf("committed value = %d", b[0])
+	}
+	// Page is writable again; stores are plain.
+	if err := f.Store(p.PID, 0, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if obits, _ := f.OverlayInfo(p.PID, 0); !obits.Empty() {
+		t.Fatal("overlay lingered after commit")
+	}
+	if r.State() != Committed {
+		t.Fatal("state wrong")
+	}
+}
+
+func TestAbortDiscardsUpdates(t *testing.T) {
+	f, p := setup(t, 1)
+	f.Store(p.PID, 0, []byte{7})
+	r, _ := Begin(f, p, []arch.VPN{0})
+	f.Store(p.PID, 0, []byte{8})
+	var b [1]byte
+	f.Load(p.PID, 0, b[:])
+	if b[0] != 8 {
+		t.Fatal("speculative value not visible inside region")
+	}
+	if err := r.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	f.Load(p.PID, 0, b[:])
+	if b[0] != 7 {
+		t.Fatalf("abort left value %d, want 7", b[0])
+	}
+	if r.State() != Aborted {
+		t.Fatal("state wrong")
+	}
+}
+
+func TestUnboundedSpeculationSpillsToOMS(t *testing.T) {
+	// Write far more lines than any cache-resident speculation could
+	// buffer: many full pages of speculative state.
+	const pages = 32
+	f, p := setup(t, pages)
+	vpns := make([]arch.VPN, pages)
+	for i := range vpns {
+		vpns[i] = arch.VPN(i)
+	}
+	r, err := Begin(f, p, vpns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; pg < pages; pg++ {
+		for line := 0; line < arch.LinesPerPage; line++ {
+			va := arch.VirtAddr(pg*arch.PageSize + line*arch.LineSize)
+			if err := f.Store(p.PID, va, []byte{byte(pg), byte(line)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := r.SpeculativeLines(); got != pages*arch.LinesPerPage {
+		t.Fatalf("speculative lines = %d, want %d", got, pages*arch.LinesPerPage)
+	}
+	if f.OMS.BytesInUse() == 0 {
+		t.Fatal("speculative state never reached the OMS")
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var b [2]byte
+	f.Load(p.PID, 31*arch.PageSize+63*arch.LineSize, b[:])
+	if b[0] != 31 || b[1] != 63 {
+		t.Fatalf("committed data wrong: %v", b)
+	}
+}
+
+func TestBeginRejectsSharedAndOverlaidPages(t *testing.T) {
+	f, p := setup(t, 2)
+	f.Fork(p, true)
+	if _, err := Begin(f, p, []arch.VPN{0}); err == nil {
+		t.Fatal("Begin on shared page must fail")
+	}
+}
+
+func TestDoubleFinishFails(t *testing.T) {
+	f, p := setup(t, 1)
+	r, _ := Begin(f, p, []arch.VPN{0})
+	f.Store(p.PID, 0, []byte{1})
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Abort(); err == nil {
+		t.Fatal("finish after finish must fail")
+	}
+}
+
+func TestSequentialRegions(t *testing.T) {
+	f, p := setup(t, 1)
+	for i := byte(0); i < 5; i++ {
+		r, err := Begin(f, p, []arch.VPN{0})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		f.Store(p.PID, 0, []byte{i})
+		if i%2 == 0 {
+			r.Commit()
+		} else {
+			r.Abort()
+		}
+	}
+	var b [1]byte
+	f.Load(p.PID, 0, b[:])
+	if b[0] != 4 { // last committed value
+		t.Fatalf("final value = %d, want 4", b[0])
+	}
+}

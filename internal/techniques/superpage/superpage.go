@@ -1,0 +1,150 @@
+// Package superpage implements flexible super-pages (§5.3.5): applying
+// the overlay idea one level up the page-table hierarchy. A 2 MB
+// super-page is one TLB entry; an overlay at the PMD level remaps
+// individual 4 KB segments, so the OS can copy-on-write or re-protect a
+// segment without shattering the whole super-page into 512 base pages.
+//
+// The package models the super-page as a contiguous 512-frame run plus a
+// 512-bit segment OBitVector: segments with the bit clear translate
+// through the super-page mapping; set bits divert to per-segment frames
+// (the "overlay at the higher-level page table"). The TLB-reach benefit
+// is captured by EntriesNeeded: 1 entry for the super-page plus its
+// diverted segments, versus 512 after a conventional shatter.
+package superpage
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// SegmentsPerSuperPage is 2 MB / 4 KB.
+const SegmentsPerSuperPage = 512
+
+// SuperPage is one 2 MB mapping with segment-grained overlays.
+type SuperPage struct {
+	f       *core.Framework
+	BaseVPN arch.VPN
+
+	owner    *vm.Process
+	sharers  []*vm.Process
+	diverted map[arch.PID]*segSet
+}
+
+type segSet struct {
+	bits [SegmentsPerSuperPage / 64]uint64
+}
+
+func (s *segSet) has(i int) bool { return s.bits[i/64]>>(uint(i)%64)&1 != 0 }
+func (s *segSet) set(i int)      { s.bits[i/64] |= 1 << (uint(i) % 64) }
+func (s *segSet) count() int {
+	n := 0
+	for _, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Alloc maps a 2 MB super-page for proc at a 2 MB-aligned base VPN.
+func Alloc(f *core.Framework, proc *vm.Process, baseVPN arch.VPN) (*SuperPage, error) {
+	if uint64(baseVPN)%SegmentsPerSuperPage != 0 {
+		return nil, fmt.Errorf("superpage: base vpn %#x not 2MB aligned", uint64(baseVPN))
+	}
+	if err := f.VM.MapAnon(proc, baseVPN, SegmentsPerSuperPage); err != nil {
+		return nil, err
+	}
+	return &SuperPage{
+		f: f, BaseVPN: baseVPN, owner: proc,
+		diverted: map[arch.PID]*segSet{proc.PID: {}},
+	}, nil
+}
+
+// Share maps the super-page copy-on-write into dst — the capability the
+// paper notes no conventional system provides without shattering. Every
+// segment is shared read-only; writes divert one segment at a time.
+func (sp *SuperPage) Share(dst *vm.Process) error {
+	for i := 0; i < SegmentsPerSuperPage; i++ {
+		vpn := sp.BaseVPN + arch.VPN(i)
+		pte := sp.owner.Table.Lookup(vpn)
+		if pte == nil {
+			return fmt.Errorf("superpage: segment %d unmapped", i)
+		}
+		pte.Writable = false
+		pte.COW = true
+		dst.Table.Map(vpn, *pte)
+		sp.f.VM.AddRef(pte.PPN)
+	}
+	sp.sharers = append(sp.sharers, dst)
+	sp.diverted[dst.PID] = &segSet{}
+	return nil
+}
+
+// Write stores data at va on behalf of proc; a first write to a shared
+// segment diverts just that segment (one 4 KB copy), never the whole
+// 2 MB region.
+func (sp *SuperPage) Write(proc *vm.Process, va arch.VirtAddr, data []byte) error {
+	seg := int(va.Page() - sp.BaseVPN)
+	if seg < 0 || seg >= SegmentsPerSuperPage {
+		return fmt.Errorf("superpage: va %#x outside super-page", uint64(va))
+	}
+	set := sp.diverted[proc.PID]
+	if set == nil {
+		return fmt.Errorf("superpage: pid %d does not map this super-page", proc.PID)
+	}
+	pte := proc.Table.Lookup(va.Page())
+	wasCOW := pte.COW
+	if err := sp.f.Store(proc.PID, va, data); err != nil {
+		return err
+	}
+	if wasCOW {
+		set.set(seg)
+		sp.f.Engine.Stats.Inc("superpage.segment_diversions")
+	}
+	return nil
+}
+
+// Read loads from the super-page on behalf of proc.
+func (sp *SuperPage) Read(proc *vm.Process, va arch.VirtAddr, buf []byte) error {
+	return sp.f.Load(proc.PID, va, buf)
+}
+
+// ProtectSegment makes one segment read-only for proc — multiple
+// protection domains within a single super-page.
+func (sp *SuperPage) ProtectSegment(proc *vm.Process, seg int) error {
+	if seg < 0 || seg >= SegmentsPerSuperPage {
+		return fmt.Errorf("superpage: segment %d out of range", seg)
+	}
+	pte := proc.Table.Lookup(sp.BaseVPN + arch.VPN(seg))
+	if pte == nil {
+		return fmt.Errorf("superpage: segment %d unmapped", seg)
+	}
+	pte.Writable = false
+	pte.COW = false
+	sp.diverted[proc.PID].set(seg)
+	return nil
+}
+
+// EntriesNeeded returns the TLB entries proc needs for this region under
+// flexible super-pages: one for the super-page plus one per diverted
+// segment. A conventional shatter would need all 512.
+func (sp *SuperPage) EntriesNeeded(proc *vm.Process) int {
+	set := sp.diverted[proc.PID]
+	if set == nil {
+		return 0
+	}
+	return 1 + set.count()
+}
+
+// DivertedSegments returns how many of proc's segments have diverged from
+// the super-page mapping.
+func (sp *SuperPage) DivertedSegments(proc *vm.Process) int {
+	set := sp.diverted[proc.PID]
+	if set == nil {
+		return 0
+	}
+	return set.count()
+}

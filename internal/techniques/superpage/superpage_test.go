@@ -1,0 +1,137 @@
+package superpage
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func setup(t *testing.T) (*core.Framework, *vm.Process, *SuperPage) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 2048
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.VM.NewProcess()
+	sp, err := Alloc(f, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, p, sp
+}
+
+func TestAllocRequiresAlignment(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 2048
+	f, _ := core.New(cfg)
+	p := f.VM.NewProcess()
+	if _, err := Alloc(f, p, 7); err == nil {
+		t.Fatal("unaligned super-page accepted")
+	}
+}
+
+func TestOwnerReadWrite(t *testing.T) {
+	_, p, sp := setup(t)
+	if err := sp.Write(p, 123456, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	sp.Read(p, 123456, b[:])
+	if b[0] != 9 {
+		t.Fatalf("read back %d", b[0])
+	}
+	if sp.EntriesNeeded(p) != 1 {
+		t.Fatalf("owner needs %d entries, want 1", sp.EntriesNeeded(p))
+	}
+}
+
+func TestShareCOWSegmentGranularity(t *testing.T) {
+	f, p, sp := setup(t)
+	sp.Write(p, 5*arch.PageSize+8, []byte{1})
+	child := f.VM.NewProcess()
+	if err := sp.Share(child); err != nil {
+		t.Fatal(err)
+	}
+	framesBefore := f.Mem.AllocatedPages()
+
+	// Child writes one segment: exactly one 4 KB copy, not 2 MB.
+	if err := sp.Write(child, 5*arch.PageSize+8, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Mem.AllocatedPages() - framesBefore; got != 1 {
+		t.Fatalf("share write copied %d frames, want 1", got)
+	}
+	var b [1]byte
+	sp.Read(p, 5*arch.PageSize+8, b[:])
+	if b[0] != 1 {
+		t.Fatal("owner saw child's write")
+	}
+	sp.Read(child, 5*arch.PageSize+8, b[:])
+	if b[0] != 2 {
+		t.Fatal("child lost its write")
+	}
+	if sp.DivertedSegments(child) != 1 {
+		t.Fatalf("diverted = %d", sp.DivertedSegments(child))
+	}
+	if sp.EntriesNeeded(child) != 2 { // super-page + 1 diverted segment
+		t.Fatalf("entries = %d, want 2", sp.EntriesNeeded(child))
+	}
+	if f.Engine.Stats.Get("superpage.segment_diversions") != 1 {
+		t.Fatal("diversion not counted")
+	}
+}
+
+func TestEntriesNeededVsShatter(t *testing.T) {
+	f, p, sp := setup(t)
+	child := f.VM.NewProcess()
+	sp.Share(child)
+	for i := 0; i < 10; i++ {
+		if err := sp.Write(child, arch.VirtAddr(i)*arch.PageSize, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := sp.EntriesNeeded(child)
+	if entries != 11 {
+		t.Fatalf("entries = %d, want 11", entries)
+	}
+	if entries >= SegmentsPerSuperPage {
+		t.Fatal("no benefit over shattering")
+	}
+	_ = p
+}
+
+func TestProtectSegment(t *testing.T) {
+	f, p, sp := setup(t)
+	if err := sp.ProtectSegment(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Store(p.PID, 3*arch.PageSize, []byte{1}); err == nil {
+		t.Fatal("write to protected segment succeeded")
+	}
+	// Other segments still writable.
+	if err := sp.Write(p, 4*arch.PageSize, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if sp.EntriesNeeded(p) != 2 {
+		t.Fatalf("entries = %d, want 2 (superpage + protected segment)", sp.EntriesNeeded(p))
+	}
+}
+
+func TestWriteOutsideRangeRejected(t *testing.T) {
+	_, p, sp := setup(t)
+	if err := sp.Write(p, arch.VirtAddr(SegmentsPerSuperPage)*arch.PageSize, []byte{1}); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestForeignProcessRejected(t *testing.T) {
+	f, _, sp := setup(t)
+	stranger := f.VM.NewProcess()
+	if err := sp.Write(stranger, 0, []byte{1}); err == nil {
+		t.Fatal("foreign write accepted")
+	}
+}

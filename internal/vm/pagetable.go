@@ -1,0 +1,143 @@
+// Package vm implements the baseline virtual-memory substrate the overlay
+// framework plugs into: 4-level radix page tables, per-process address
+// spaces, anonymous and zero-page mappings, and fork with copy-on-write
+// sharing. The overlay framework (internal/core) leaves all of this
+// untouched — exactly the paper's point that overlays "largely retain the
+// structure of the existing virtual memory framework" — and only consults
+// the OverlayEnabled/COW bits the OS sets here.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Page-table geometry: 48-bit virtual addresses, 4 levels of 9 bits.
+const (
+	ptLevels  = 4
+	ptBits    = 9
+	ptFanout  = 1 << ptBits
+	ptIdxMask = ptFanout - 1
+)
+
+// PTE is a leaf page-table entry. The overlay framework adds no fields to
+// it beyond the two OS-visible mode bits.
+type PTE struct {
+	Present  bool
+	Writable bool
+	COW      bool // copy-on-write: writes must not hit PPN in place
+	Overlay  bool // OS opted this page into overlay-on-write / overlays
+	Shadow   bool // overlay holds fine-grained metadata, not data (§5.3.4)
+	PPN      arch.PPN
+}
+
+type ptNode struct {
+	children [ptFanout]*ptNode // nil at leaf level
+	ptes     []PTE             // non-nil only at leaf level
+}
+
+// PageTable is a 4-level radix table mapping VPN → PTE.
+type PageTable struct {
+	root     ptNode
+	mapped   int
+	walkCost int // interior nodes touched by the last Walk (test aid)
+}
+
+func levelIndex(vpn arch.VPN, level int) int {
+	shift := uint(ptBits * (ptLevels - 1 - level))
+	return int(uint64(vpn)>>shift) & ptIdxMask
+}
+
+// Lookup returns a pointer to the PTE for vpn, or nil if no leaf exists.
+func (pt *PageTable) Lookup(vpn arch.VPN) *PTE {
+	n := &pt.root
+	pt.walkCost = 0
+	for level := 0; level < ptLevels-1; level++ {
+		pt.walkCost++
+		n = n.children[levelIndex(vpn, level)]
+		if n == nil {
+			return nil
+		}
+	}
+	if n.ptes == nil {
+		return nil
+	}
+	pte := &n.ptes[levelIndex(vpn, ptLevels-1)]
+	if !pte.Present {
+		return nil
+	}
+	return pte
+}
+
+// Ensure returns the PTE slot for vpn, materialising interior nodes.
+func (pt *PageTable) Ensure(vpn arch.VPN) *PTE {
+	n := &pt.root
+	for level := 0; level < ptLevels-1; level++ {
+		idx := levelIndex(vpn, level)
+		if n.children[idx] == nil {
+			n.children[idx] = &ptNode{}
+			if level == ptLevels-2 {
+				n.children[idx].ptes = make([]PTE, ptFanout)
+			}
+		}
+		n = n.children[idx]
+	}
+	return &n.ptes[levelIndex(vpn, ptLevels-1)]
+}
+
+// Map installs a mapping; it panics on double-map (an OS bug upstream).
+func (pt *PageTable) Map(vpn arch.VPN, pte PTE) {
+	slot := pt.Ensure(vpn)
+	if slot.Present {
+		panic(fmt.Sprintf("vm: vpn %#x already mapped", uint64(vpn)))
+	}
+	if !pte.Present {
+		panic("vm: mapping a non-present PTE")
+	}
+	*slot = pte
+	pt.mapped++
+}
+
+// Unmap removes the mapping and returns the old PTE; ok=false if absent.
+func (pt *PageTable) Unmap(vpn arch.VPN) (PTE, bool) {
+	pte := pt.Lookup(vpn)
+	if pte == nil {
+		return PTE{}, false
+	}
+	old := *pte
+	*pte = PTE{}
+	pt.mapped--
+	return old, true
+}
+
+// Mapped returns the number of present leaf entries.
+func (pt *PageTable) Mapped() int { return pt.mapped }
+
+// Range calls fn for every present mapping in ascending VPN order within
+// the materialised subtrees.
+func (pt *PageTable) Range(fn func(vpn arch.VPN, pte *PTE) bool) {
+	var walk func(n *ptNode, prefix uint64, level int) bool
+	walk = func(n *ptNode, prefix uint64, level int) bool {
+		if n.ptes != nil {
+			for i := range n.ptes {
+				if n.ptes[i].Present {
+					vpn := arch.VPN(prefix<<ptBits | uint64(i))
+					if !fn(vpn, &n.ptes[i]) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for i, c := range n.children {
+			if c != nil {
+				if !walk(c, prefix<<ptBits|uint64(i), level+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	walk(&pt.root, 0, 0)
+}

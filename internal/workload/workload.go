@@ -1,0 +1,172 @@
+// Package workload generates the synthetic benchmark suite used by the
+// fork/copy-on-write experiments (Figures 8 and 9). The paper evaluates
+// 15 SPEC CPU2006 benchmarks chosen for their write-working-set shapes;
+// we reproduce each benchmark as a deterministic synthetic trace with the
+// same three controlling properties:
+//
+//   - Type 1: low write working set — writes confined to a handful of
+//     pages (bwaves, hmmer, libq, sphinx3, tonto);
+//   - Type 2: dense writes — almost every cache line of every modified
+//     page is updated (bzip2, cactus, lbm, leslie3d, soplex). cactus is
+//     the paper's exception: its writes to a page cluster in time;
+//   - Type 3: sparse writes — only a few lines per modified page are
+//     updated, spread across many pages (astar, Gems, mcf, milc, omnet).
+//
+// Those properties are the only benchmark features the CoW-vs-OoW
+// comparison depends on (see DESIGN.md's substitution table).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/vm"
+)
+
+// Type classifies a benchmark's write working set.
+type Type int
+
+const (
+	// Type1 has a small write working set.
+	Type1 Type = 1
+	// Type2 writes almost all lines of each modified page.
+	Type2 Type = 2
+	// Type3 writes only a few lines of each modified page.
+	Type3 Type = 3
+)
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name string
+	Type Type
+
+	Pages        int  // total data footprint, in pages
+	WritePages   int  // pages in the write working set
+	LinesPerPage int  // distinct lines written per modified page
+	Clustered    bool // a page's lines are written back-to-back in time
+
+	ComputePerMem int     // compute instructions between memory ops
+	StoreShare    float64 // fraction of memory ops that are stores
+	Seed          int64
+}
+
+// Suite returns the 15 benchmarks of Figures 8/9, grouped by type.
+func Suite() []Spec {
+	return []Spec{
+		// Type 1: low write working set.
+		{Name: "bwaves", Type: Type1, Pages: 1024, WritePages: 4, LinesPerPage: 16, Clustered: true, ComputePerMem: 2, StoreShare: 0.15, Seed: 101},
+		{Name: "hmmer", Type: Type1, Pages: 256, WritePages: 2, LinesPerPage: 8, Clustered: true, ComputePerMem: 3, StoreShare: 0.10, Seed: 102},
+		{Name: "libq", Type: Type1, Pages: 512, WritePages: 4, LinesPerPage: 32, ComputePerMem: 2, StoreShare: 0.10, Seed: 103},
+		{Name: "sphinx3", Type: Type1, Pages: 768, WritePages: 2, LinesPerPage: 16, ComputePerMem: 3, StoreShare: 0.08, Seed: 104},
+		{Name: "tonto", Type: Type1, Pages: 384, WritePages: 3, LinesPerPage: 8, Clustered: true, ComputePerMem: 4, StoreShare: 0.12, Seed: 105},
+
+		// Type 2: dense writes.
+		{Name: "bzip2", Type: Type2, Pages: 1024, WritePages: 320, LinesPerPage: 64, ComputePerMem: 2, StoreShare: 0.40, Seed: 201},
+		{Name: "cactus", Type: Type2, Pages: 1024, WritePages: 256, LinesPerPage: 64, Clustered: true, ComputePerMem: 2, StoreShare: 0.35, Seed: 202},
+		{Name: "lbm", Type: Type2, Pages: 2048, WritePages: 640, LinesPerPage: 64, ComputePerMem: 1, StoreShare: 0.50, Seed: 203},
+		{Name: "leslie3d", Type: Type2, Pages: 1536, WritePages: 480, LinesPerPage: 64, ComputePerMem: 2, StoreShare: 0.40, Seed: 204},
+		{Name: "soplex", Type: Type2, Pages: 1024, WritePages: 320, LinesPerPage: 64, ComputePerMem: 2, StoreShare: 0.30, Seed: 205},
+
+		// Type 3: sparse writes.
+		{Name: "astar", Type: Type3, Pages: 2048, WritePages: 512, LinesPerPage: 4, ComputePerMem: 2, StoreShare: 0.30, Seed: 301},
+		{Name: "Gems", Type: Type3, Pages: 2048, WritePages: 640, LinesPerPage: 6, ComputePerMem: 2, StoreShare: 0.35, Seed: 302},
+		{Name: "mcf", Type: Type3, Pages: 4096, WritePages: 1024, LinesPerPage: 2, ComputePerMem: 1, StoreShare: 0.30, Seed: 303},
+		{Name: "milc", Type: Type3, Pages: 2048, WritePages: 576, LinesPerPage: 8, ComputePerMem: 2, StoreShare: 0.30, Seed: 304},
+		{Name: "omnet", Type: Type3, Pages: 1536, WritePages: 448, LinesPerPage: 4, ComputePerMem: 2, StoreShare: 0.25, Seed: 305},
+	}
+}
+
+// ByName returns the spec for a benchmark name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// MapFootprint maps the benchmark's data pages into the process.
+func (s Spec) MapFootprint(f *core.Framework, p *vm.Process) error {
+	return f.VM.MapAnon(p, 0, s.Pages)
+}
+
+// writeSequence builds the deterministic cyclic sequence of store targets
+// that realises the benchmark's write working set.
+func (s Spec) writeSequence() []arch.VirtAddr {
+	rng := rand.New(rand.NewSource(s.Seed))
+	pages := rng.Perm(s.Pages)[:s.WritePages]
+	lines := make([][]int, s.WritePages)
+	for i := range lines {
+		lines[i] = rng.Perm(arch.LinesPerPage)[:s.LinesPerPage]
+	}
+	seq := make([]arch.VirtAddr, 0, s.WritePages*s.LinesPerPage)
+	target := func(pi, li int) arch.VirtAddr {
+		page := pages[pi]
+		line := lines[pi][li]
+		return arch.VirtAddr(page)*arch.PageSize + arch.VirtAddr(line*arch.LineSize)
+	}
+	if s.Clustered {
+		for pi := 0; pi < s.WritePages; pi++ {
+			for li := 0; li < s.LinesPerPage; li++ {
+				seq = append(seq, target(pi, li))
+			}
+		}
+	} else {
+		// Spread: consecutive stores hit different pages; a page's next
+		// line is revisited only after every other page has been touched.
+		for li := 0; li < s.LinesPerPage; li++ {
+			for pi := 0; pi < s.WritePages; pi++ {
+				seq = append(seq, target(pi, li))
+			}
+		}
+	}
+	return seq
+}
+
+// trace is the benchmark's instruction stream.
+type trace struct {
+	spec     Spec
+	rng      *rand.Rand
+	writes   []arch.VirtAddr
+	writePos int
+	readLine int64
+	phase    int // 0 → compute, 1 → memory op
+}
+
+// NewTrace builds the benchmark's (infinite) instruction stream; callers
+// bound execution with the core's instruction limit.
+func (s Spec) NewTrace() cpu.Trace {
+	return &trace{
+		spec:   s,
+		rng:    rand.New(rand.NewSource(s.Seed ^ 0x5eed)),
+		writes: s.writeSequence(),
+	}
+}
+
+// Next implements cpu.Trace: a repeating [compute burst, memory op]
+// pattern whose memory ops split between the write sequence and a
+// mostly-sequential read scan of the footprint.
+func (t *trace) Next() (cpu.Instr, bool) {
+	if t.phase == 0 && t.spec.ComputePerMem > 0 {
+		t.phase = 1
+		return cpu.Instr{Kind: cpu.Compute, N: t.spec.ComputePerMem}, true
+	}
+	t.phase = 0
+	if t.rng.Float64() < t.spec.StoreShare {
+		va := t.writes[t.writePos]
+		t.writePos = (t.writePos + 1) % len(t.writes)
+		return cpu.Instr{Kind: cpu.Store, VA: va}, true
+	}
+	// Sequential read scan with occasional jumps — enough locality to keep
+	// the prefetcher busy without making every access a hit.
+	if t.rng.Intn(16) == 0 {
+		t.readLine = t.rng.Int63n(int64(t.spec.Pages) * arch.LinesPerPage)
+	} else {
+		t.readLine = (t.readLine + 1) % (int64(t.spec.Pages) * arch.LinesPerPage)
+	}
+	return cpu.Instr{Kind: cpu.Load, VA: arch.VirtAddr(t.readLine * arch.LineSize)}, true
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 15 {
+		t.Fatalf("suite has %d benchmarks, want 15", len(suite))
+	}
+	counts := map[Type]int{}
+	names := map[string]bool{}
+	for _, s := range suite {
+		counts[s.Type]++
+		if names[s.Name] {
+			t.Fatalf("duplicate benchmark %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.WritePages > s.Pages {
+			t.Fatalf("%s: write working set larger than footprint", s.Name)
+		}
+		if s.LinesPerPage < 1 || s.LinesPerPage > arch.LinesPerPage {
+			t.Fatalf("%s: bad LinesPerPage %d", s.Name, s.LinesPerPage)
+		}
+	}
+	if counts[Type1] != 5 || counts[Type2] != 5 || counts[Type3] != 5 {
+		t.Fatalf("type counts = %v, want 5 each", counts)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("mcf")
+	if err != nil || s.Name != "mcf" || s.Type != Type3 {
+		t.Fatalf("ByName(mcf) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestWriteSequenceRespectsSpec(t *testing.T) {
+	for _, s := range Suite() {
+		seq := s.writeSequence()
+		if len(seq) != s.WritePages*s.LinesPerPage {
+			t.Fatalf("%s: sequence length %d, want %d", s.Name, len(seq), s.WritePages*s.LinesPerPage)
+		}
+		pages := map[arch.VPN]map[int]bool{}
+		for _, va := range seq {
+			if int(va.Page()) >= s.Pages {
+				t.Fatalf("%s: write outside footprint", s.Name)
+			}
+			if pages[va.Page()] == nil {
+				pages[va.Page()] = map[int]bool{}
+			}
+			pages[va.Page()][va.Line()] = true
+		}
+		if len(pages) != s.WritePages {
+			t.Fatalf("%s: touched %d pages, want %d", s.Name, len(pages), s.WritePages)
+		}
+		for vpn, lines := range pages {
+			if len(lines) != s.LinesPerPage {
+				t.Fatalf("%s: page %d has %d lines, want %d", s.Name, vpn, len(lines), s.LinesPerPage)
+			}
+		}
+	}
+}
+
+func TestClusteredOrdering(t *testing.T) {
+	s, _ := ByName("cactus")
+	seq := s.writeSequence()
+	// Clustered: the first LinesPerPage writes all land on one page.
+	first := seq[0].Page()
+	for i := 1; i < s.LinesPerPage; i++ {
+		if seq[i].Page() != first {
+			t.Fatalf("clustered sequence switches page at %d", i)
+		}
+	}
+}
+
+func TestSpreadOrdering(t *testing.T) {
+	s, _ := ByName("lbm")
+	seq := s.writeSequence()
+	// Spread: consecutive writes land on different pages.
+	for i := 1; i < s.WritePages; i++ {
+		if seq[i].Page() == seq[i-1].Page() {
+			t.Fatalf("spread sequence repeats page at %d", i)
+		}
+	}
+	// A page's second line comes only after all pages' first lines.
+	if seq[s.WritePages].Page() != seq[0].Page() {
+		t.Fatal("second sweep does not revisit in order")
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	s, _ := ByName("astar")
+	t1, t2 := s.NewTrace(), s.NewTrace()
+	for i := 0; i < 10000; i++ {
+		a, _ := t1.Next()
+		b, _ := t2.Next()
+		if a != b {
+			t.Fatalf("traces diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTraceMix(t *testing.T) {
+	s, _ := ByName("bzip2")
+	tr := s.NewTrace()
+	var computes, loads, stores, instrs int
+	for instrs < 100000 {
+		in, ok := tr.Next()
+		if !ok {
+			t.Fatal("trace ended")
+		}
+		switch in.Kind {
+		case cpu.Compute:
+			computes += in.N
+			instrs += in.N
+		case cpu.Load:
+			loads++
+			instrs++
+		case cpu.Store:
+			stores++
+			instrs++
+			if int(in.VA.Page()) >= s.Pages {
+				t.Fatal("store outside footprint")
+			}
+		}
+	}
+	memOps := loads + stores
+	storeShare := float64(stores) / float64(memOps)
+	if storeShare < s.StoreShare-0.05 || storeShare > s.StoreShare+0.05 {
+		t.Fatalf("store share = %v, want ≈%v", storeShare, s.StoreShare)
+	}
+	wantComputeFrac := float64(s.ComputePerMem) / float64(s.ComputePerMem+1)
+	computeFrac := float64(computes) / float64(instrs)
+	if computeFrac < wantComputeFrac-0.05 || computeFrac > wantComputeFrac+0.05 {
+		t.Fatalf("compute fraction = %v, want ≈%v", computeFrac, wantComputeFrac)
+	}
+}
+
+func TestTraceReadsStayInFootprint(t *testing.T) {
+	s, _ := ByName("hmmer")
+	tr := s.NewTrace()
+	for i := 0; i < 50000; i++ {
+		in, _ := tr.Next()
+		if in.Kind == cpu.Load && int(in.VA.Page()) >= s.Pages {
+			t.Fatalf("load outside footprint: %#x", uint64(in.VA))
+		}
+	}
+}
