@@ -10,197 +10,435 @@
 //	overlaysim dualcore               extension: divergence with both processes running
 //	overlaysim trace                  record a workload trace / replay one through the simulator
 //	overlaysim stats                  run one fork benchmark and dump all counters
+//
+// Most subcommands accept -json=<file> (machine-readable schema-versioned
+// export), -csv=<file> (epoch series rows) and -tracelog=<file> (Chrome
+// trace_event JSON for chrome://tracing / Perfetto). Usage errors exit
+// with status 2, runtime errors with status 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/exp"
+	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: overlaysim <config|fork|spmv|linesize|sweep|dualcore|trace|stats> [flags]")
-	os.Exit(2)
+// command is one subcommand: its flag set is bound to closure variables
+// inside the constructor, and run executes after a successful parse.
+type command struct {
+	name    string
+	summary string
+	flags   *flag.FlagSet
+	run     func(stdout io.Writer) error
 }
+
+// usageError marks an error as a bad-invocation problem (exit status 2)
+// rather than a runtime failure (exit status 1).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches args to a subcommand and returns the process exit code:
+// 0 on success, 1 on runtime error, 2 on usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	cmds := commands()
+	usage := func() {
+		fmt.Fprintln(stderr, "usage: overlaysim <command> [flags]")
+		fmt.Fprintln(stderr, "\ncommands:")
+		for _, c := range cmds {
+			fmt.Fprintf(stderr, "\n  %-10s %s\n", c.name, c.summary)
+			c.flags.SetOutput(stderr)
+			c.flags.PrintDefaults()
+		}
 	}
-	var err error
-	switch os.Args[1] {
-	case "config":
-		system.Describe(os.Stdout, system.Default())
-	case "fork":
-		err = forkCmd(os.Args[2:])
-	case "spmv":
-		err = spmvCmd(os.Args[2:])
-	case "linesize":
-		err = linesizeCmd(os.Args[2:])
-	case "sweep":
-		err = sweepCmd(os.Args[2:])
-	case "dualcore":
-		exp.PrintDualCore(os.Stdout, []exp.DualCoreResult{
-			exp.RunDualCoreDivergence(true),
-			exp.RunDualCoreDivergence(false),
-		})
-	case "trace":
-		err = traceCmd(os.Args[2:])
-	case "stats":
-		err = statsCmd(os.Args[2:])
-	default:
+	if len(args) < 1 {
 		usage()
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "overlaysim:", err)
-		os.Exit(1)
+	var cmd *command
+	for _, c := range cmds {
+		if c.name == args[0] {
+			cmd = c
+			break
+		}
+	}
+	if cmd == nil {
+		fmt.Fprintf(stderr, "overlaysim: unknown command %q\n", args[0])
+		usage()
+		return 2
+	}
+	cmd.flags.SetOutput(stderr)
+	if err := cmd.flags.Parse(args[1:]); err != nil {
+		return 2
+	}
+	if err := cmd.run(stdout); err != nil {
+		fmt.Fprintln(stderr, "overlaysim:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// commands builds a fresh subcommand table (fresh flag sets, so tests can
+// invoke run repeatedly without flag redefinition panics).
+func commands() []*command {
+	return []*command{
+		newConfigCmd(),
+		newForkCmd(),
+		newSpmvCmd(),
+		newLinesizeCmd(),
+		newSweepCmd(),
+		newDualcoreCmd(),
+		newTraceCmd(),
+		newStatsCmd(),
 	}
 }
 
-func forkCmd(args []string) error {
-	fs := flag.NewFlagSet("fork", flag.ExitOnError)
+// telemetryFlags is the flag group shared by every measuring subcommand.
+type telemetryFlags struct {
+	jsonPath  string
+	csvPath   string
+	tracePath string
+	traceCap  int
+	epoch     uint64
+}
+
+func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
+	t := &telemetryFlags{}
+	fs.StringVar(&t.jsonPath, "json", "", "write the machine-readable export (JSON, schema v1) to this `file`")
+	fs.StringVar(&t.csvPath, "csv", "", "write epoch time-series rows (CSV) to this `file`")
+	fs.StringVar(&t.tracePath, "tracelog", "", "write structured simulator events (Chrome trace_event JSON) to this `file`")
+	fs.IntVar(&t.traceCap, "tracecap", sim.DefaultTraceCap, "trace ring-buffer capacity in `events`")
+	fs.Uint64Var(&t.epoch, "epoch", uint64(sim.DefaultEpoch), "series sampling period in `cycles`")
+	return t
+}
+
+// wanted reports whether any telemetry output was requested.
+func (t *telemetryFlags) wanted() bool {
+	return t.jsonPath != "" || t.csvPath != "" || t.tracePath != ""
+}
+
+// traceLog returns the shared trace ring if -tracelog was given.
+func (t *telemetryFlags) traceLog() *sim.TraceLog {
+	if t.tracePath == "" {
+		return nil
+	}
+	return sim.NewTraceLog(t.traceCap)
+}
+
+// write emits the requested telemetry files. Any of the inputs may be nil.
+func (t *telemetryFlags) write(ex *sim.Export, series []*sim.Series, tl *sim.TraceLog) error {
+	if t.jsonPath != "" && ex != nil {
+		if err := writeFile(t.jsonPath, ex.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if t.csvPath != "" {
+		if err := writeFile(t.csvPath, func(w io.Writer) error {
+			return sim.WriteSeriesCSV(w, series...)
+		}); err != nil {
+			return err
+		}
+	}
+	if t.tracePath != "" && tl != nil {
+		if err := writeFile(t.tracePath, tl.WriteChrome); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, emit func(io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+func newConfigCmd() *command {
+	fs := flag.NewFlagSet("config", flag.ContinueOnError)
+	return &command{
+		name:    "config",
+		summary: "print the simulated system (Table 2)",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			system.Describe(stdout, system.Default())
+			return nil
+		},
+	}
+}
+
+func newForkCmd() *command {
+	fs := flag.NewFlagSet("fork", flag.ContinueOnError)
 	warm := fs.Uint64("warm", exp.DefaultForkParams().WarmInstructions, "warm-up instructions before the fork")
 	measure := fs.Uint64("measure", exp.DefaultForkParams().MeasureInstructions, "instructions measured after the fork")
 	bench := fs.String("bench", "", "run a single benchmark (default: all 15)")
-	fs.Parse(args)
-	params := exp.ForkParams{WarmInstructions: *warm, MeasureInstructions: *measure}
-	var names []string
-	if *bench != "" {
-		names = []string{*bench}
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "fork",
+		summary: "Figures 8 and 9: overlay-on-write vs copy-on-write",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			tl := tel.traceLog()
+			params := exp.ForkParams{
+				WarmInstructions:    *warm,
+				MeasureInstructions: *measure,
+				SeriesEpoch:         sim.Cycle(tel.epoch),
+				Trace:               tl,
+			}
+			var names []string
+			if *bench != "" {
+				names = []string{*bench}
+			}
+			results, err := exp.RunForkSuite(params, names)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure8(stdout, results)
+			fmt.Fprintln(stdout)
+			exp.PrintFigure9(stdout, results)
+			if !tel.wanted() {
+				return nil
+			}
+			ex := exp.ForkExport(params, results)
+			var series []*sim.Series
+			for i := range results {
+				series = append(series, results[i].CoW.Series, results[i].OoW.Series)
+			}
+			return tel.write(ex, series, tl)
+		},
 	}
-	results, err := exp.RunForkSuite(params, names)
-	if err != nil {
-		return err
-	}
-	exp.PrintFigure8(os.Stdout, results)
-	fmt.Println()
-	exp.PrintFigure9(os.Stdout, results)
-	return nil
 }
 
-func spmvCmd(args []string) error {
-	fs := flag.NewFlagSet("spmv", flag.ExitOnError)
+func newSpmvCmd() *command {
+	fs := flag.NewFlagSet("spmv", flag.ContinueOnError)
 	limit := fs.Int("matrices", 0, "number of suite matrices to run (0 = all 87)")
 	dense := fs.Bool("dense", false, "also run the dense baseline")
-	fs.Parse(args)
-	results, err := exp.RunFigure10(*limit, *dense)
-	if err != nil {
-		return err
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "spmv",
+		summary: "Figure 10: SpMV with overlays vs CSR",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			results, err := exp.RunFigure10(*limit, *dense)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure10(stdout, results)
+			if !tel.wanted() {
+				return nil
+			}
+			ex := sim.NewExport("spmv")
+			ex.Results = results
+			return tel.write(ex, nil, nil)
+		},
 	}
-	exp.PrintFigure10(os.Stdout, results)
-	return nil
 }
 
-func linesizeCmd(args []string) error {
-	fs := flag.NewFlagSet("linesize", flag.ExitOnError)
+func newLinesizeCmd() *command {
+	fs := flag.NewFlagSet("linesize", flag.ContinueOnError)
 	limit := fs.Int("matrices", 0, "number of suite matrices (0 = all 87)")
-	fs.Parse(args)
-	exp.PrintFigure11(os.Stdout, exp.RunFigure11(*limit))
-	return nil
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "linesize",
+		summary: "Figure 11: memory overhead vs mapping granularity",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			results := exp.RunFigure11(*limit)
+			exp.PrintFigure11(stdout, results)
+			if !tel.wanted() {
+				return nil
+			}
+			ex := sim.NewExport("linesize")
+			ex.Results = results
+			return tel.write(ex, nil, nil)
+		},
+	}
 }
 
-func sweepCmd(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+func newSweepCmd() *command {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	points := fs.Int("points", 11, "sparsity levels between 0%% and 100%%")
 	rows := fs.Int("rows", 256, "matrix dimension")
-	fs.Parse(args)
-	results, err := exp.RunSparsitySweep(*points, *rows)
-	if err != nil {
-		return err
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "sweep",
+		summary: "§5.2 sparsity sweep: overlays vs dense",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			results, err := exp.RunSparsitySweep(*points, *rows)
+			if err != nil {
+				return err
+			}
+			exp.PrintSweep(stdout, results)
+			if !tel.wanted() {
+				return nil
+			}
+			ex := sim.NewExport("sweep")
+			ex.Results = results
+			return tel.write(ex, nil, nil)
+		},
 	}
-	exp.PrintSweep(os.Stdout, results)
-	return nil
 }
 
-func statsCmd(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+func newDualcoreCmd() *command {
+	fs := flag.NewFlagSet("dualcore", flag.ContinueOnError)
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "dualcore",
+		summary: "extension: page divergence with both processes running",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			results := []exp.DualCoreResult{
+				exp.RunDualCoreDivergence(true),
+				exp.RunDualCoreDivergence(false),
+			}
+			exp.PrintDualCore(stdout, results)
+			if !tel.wanted() {
+				return nil
+			}
+			ex := sim.NewExport("dualcore")
+			ex.Results = results
+			return tel.write(ex, nil, nil)
+		},
+	}
+}
+
+func newStatsCmd() *command {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	bench := fs.String("bench", "mcf", "benchmark to run")
 	overlay := fs.Bool("overlay", true, "use overlay-on-write (false: copy-on-write)")
 	measure := fs.Uint64("measure", exp.QuickForkParams().MeasureInstructions, "instructions after fork")
-	fs.Parse(args)
-	spec, err := workload.ByName(*bench)
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "stats",
+		summary: "run one fork benchmark and dump all counters",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			spec, err := workload.ByName(*bench)
+			if err != nil {
+				return err
+			}
+			cfg := core.DefaultConfig()
+			cfg.MemoryPages = spec.Pages*2 + 16384
+			tl := tel.traceLog()
+			params := exp.ForkParams{
+				WarmInstructions:    exp.QuickForkParams().WarmInstructions,
+				MeasureInstructions: *measure,
+				SeriesEpoch:         sim.Cycle(tel.epoch),
+				Trace:               tl,
+			}
+			out, ex, err := exp.RunStatsExport(spec, cfg, params, *overlay)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(stdout, out)
+			if !tel.wanted() {
+				return nil
+			}
+			var series []*sim.Series
+			if r, ok := ex.Results.(exp.MechanismResult); ok && r.Series != nil {
+				series = append(series, r.Series)
+			}
+			return tel.write(ex, series, tl)
+		},
+	}
+}
+
+func newTraceCmd() *command {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	bench := fs.String("bench", "mcf", "benchmark to record")
+	out := fs.String("out", "", "record the trace to this file")
+	in := fs.String("in", "", "replay a recorded trace through the simulator")
+	n := fs.Uint64("n", 100000, "instructions to record")
+	return &command{
+		name:    "trace",
+		summary: "record a workload trace / replay one through the simulator",
+		flags:   fs,
+		run: func(stdout io.Writer) error {
+			switch {
+			case *out != "":
+				return traceRecord(stdout, *bench, *out, *n)
+			case *in != "":
+				return traceReplay(stdout, *bench, *in)
+			}
+			return usageError("trace: need -out (record) or -in (replay)")
+		},
+	}
+}
+
+func traceRecord(stdout io.Writer, bench, out string, n uint64) error {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	fh, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	count, err := trace.Record(fh, spec.NewTrace(), n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %d instructions of %s to %s\n", count, bench, out)
+	return nil
+}
+
+func traceReplay(stdout io.Writer, bench, in string) error {
+	fh, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	r, err := trace.NewReader(fh)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.ByName(bench)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.MemoryPages = spec.Pages*2 + 16384
-	stats, err := exp.RunWithStats(spec, cfg, exp.ForkParams{
-		WarmInstructions:    exp.QuickForkParams().WarmInstructions,
-		MeasureInstructions: *measure,
-	}, *overlay)
+	f, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Print(stats)
+	proc := f.VM.NewProcess()
+	if err := spec.MapFootprint(f, proc); err != nil {
+		return err
+	}
+	port := f.NewPort()
+	c := cpu.New(f.Engine, port, proc.PID, r)
+	c.Run(0, nil)
+	f.Engine.Run()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	fmt.Fprintf(stdout, "replayed %d instructions in %d cycles (CPI %.3f)\n",
+		c.Retired(), c.Cycles(), c.CPI())
 	return nil
-}
-
-func traceCmd(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	bench := fs.String("bench", "mcf", "benchmark to record")
-	out := fs.String("out", "", "record the trace to this file")
-	in := fs.String("in", "", "replay a recorded trace through the simulator")
-	n := fs.Uint64("n", 100000, "instructions to record")
-	fs.Parse(args)
-
-	if *out != "" {
-		spec, err := workload.ByName(*bench)
-		if err != nil {
-			return err
-		}
-		fh, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer fh.Close()
-		count, err := trace.Record(fh, spec.NewTrace(), *n)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("recorded %d instructions of %s to %s\n", count, *bench, *out)
-		return nil
-	}
-	if *in != "" {
-		fh, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer fh.Close()
-		r, err := trace.NewReader(fh)
-		if err != nil {
-			return err
-		}
-		spec, err := workload.ByName(*bench)
-		if err != nil {
-			return err
-		}
-		cfg := core.DefaultConfig()
-		cfg.MemoryPages = spec.Pages*2 + 16384
-		f, err := core.New(cfg)
-		if err != nil {
-			return err
-		}
-		proc := f.VM.NewProcess()
-		if err := spec.MapFootprint(f, proc); err != nil {
-			return err
-		}
-		port := f.NewPort()
-		c := cpu.New(f.Engine, port, proc.PID, r)
-		c.Run(0, nil)
-		f.Engine.Run()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		fmt.Printf("replayed %d instructions in %d cycles (CPI %.3f)\n",
-			c.Retired(), c.Cycles(), c.CPI())
-		return nil
-	}
-	return fmt.Errorf("trace: need -out (record) or -in (replay)")
 }

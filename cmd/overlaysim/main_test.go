@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestForkJSONRoundTrip runs a quick fork experiment through the CLI and
+// validates the machine-readable export end to end: schema version, the
+// required latency histograms with samples, at least one epoch series,
+// and a trace file in Chrome trace_event shape.
+func TestForkJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	tracePath := filepath.Join(dir, "out.trace.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"fork", "-bench=hmmer", "-warm=20000", "-measure=50000",
+		"-epoch=50000", "-json=" + jsonPath, "-tracelog=" + tracePath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fork exited %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "hmmer") {
+		t.Errorf("stdout missing benchmark name:\n%s", stdout.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex struct {
+		SchemaVersion int    `json:"schema_version"`
+		Command       string `json:"command"`
+		Counters      map[string]uint64
+		Histograms    map[string]struct {
+			Count uint64  `json:"count"`
+			Mean  float64 `json:"mean"`
+			P95   float64 `json:"p95"`
+		} `json:"histograms"`
+		Series []struct {
+			Name string `json:"name"`
+			Rows []struct {
+				EndCycle uint64   `json:"end_cycle"`
+				Values   []uint64 `json:"values"`
+			} `json:"rows"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(raw, &ex); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if ex.SchemaVersion != 1 {
+		t.Errorf("schema_version = %d, want 1", ex.SchemaVersion)
+	}
+	if ex.Command != "fork" {
+		t.Errorf("command = %q, want fork", ex.Command)
+	}
+	for _, name := range []string{"core.access_cycles", "dram.read_cycles", "tlb.walk_cycles"} {
+		h, ok := ex.Histograms[name]
+		if !ok {
+			t.Errorf("export missing histogram %q", name)
+			continue
+		}
+		if h.Count == 0 {
+			t.Errorf("histogram %q has zero samples", name)
+		}
+		if h.Mean <= 0 || h.P95 < h.Mean/2 {
+			t.Errorf("histogram %q has implausible mean %v / p95 %v", name, h.Mean, h.P95)
+		}
+	}
+	if len(ex.Series) < 1 {
+		t.Fatalf("export has no series")
+	}
+	rows := 0
+	for _, s := range ex.Series {
+		rows += len(s.Rows)
+	}
+	if rows == 0 {
+		t.Errorf("series contain no rows")
+	}
+
+	// Round trip: re-marshal and re-parse the export.
+	again, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if err := json.Unmarshal(again, &ex); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+
+	// The trace file must be Chrome trace_event JSON with events.
+	traw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traw, &tr); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"unknown command", []string{"bogus"}},
+		{"bad flag", []string{"fork", "-nope"}},
+		{"trace without -out/-in", []string{"trace"}},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(c.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit code %d, want 2", c.name, code)
+		}
+	}
+
+	// Runtime errors (valid invocation, failing work) exit 1.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"stats", "-bench=notabench"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown benchmark: exit code %d, want 1", code)
+	}
+}
+
+func TestStatsCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "series.csv")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"stats", "-bench=hmmer", "-measure=30000", "-epoch=50000", "-csv=" + csvPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("stats exited %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "series,counter,end_cycle,value" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Errorf("csv has no data rows")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/oms"
 	"repro/internal/omt"
+	"repro/internal/sim"
 	"repro/internal/vm"
 )
 
@@ -160,6 +161,11 @@ func (f *Framework) overlayInsert(pid arch.PID, vpn arch.VPN, entry *omt.Entry, 
 		return f.overlayLineLoc(opn, entry, line)
 	}
 	if entry.SegBase == 0 {
+		if tr := f.Engine.Trace; tr != nil {
+			tr.Emit(f.Engine.Now(), "overlay", "create",
+				sim.TraceArg{Key: "pid", Val: uint64(pid)},
+				sim.TraceArg{Key: "vpn", Val: uint64(vpn)})
+		}
 		base, err := f.OMS.AllocSegment(oms.ClassFor(1))
 		if err != nil {
 			return lineLoc{}, fmt.Errorf("core: overlay alloc: %w", err)

@@ -84,6 +84,10 @@ type Framework struct {
 	Hier     *cache.Hierarchy
 	Prefetch *prefetch.Prefetcher
 
+	// accessLat collects the end-to-end latency of every timed port
+	// access (translation through cache/DRAM completion).
+	accessLat *sim.Histogram
+
 	ports []*Port
 }
 
@@ -110,7 +114,21 @@ func New(cfg Config) (*Framework, error) {
 	f.Hier = cache.NewHierarchy(engine, cfg.Cache, (*backend)(f))
 	f.Prefetch = prefetch.New(cfg.Prefetch, f.Hier, &engine.Stats)
 	f.Hier.SetPrefetcher((*missDispatcher)(f))
+	f.accessLat = engine.Stats.Histogram("core.access_cycles")
 	return f, nil
+}
+
+// SetTrace enables structured event tracing for the framework: the
+// engine's trace pointer is set and every component that emits events
+// without an engine reference (the Overlay Memory Store) is wired to the
+// same log. Pass nil to disable tracing again.
+func (f *Framework) SetTrace(t *sim.TraceLog) {
+	f.Engine.Trace = t
+	if t == nil {
+		f.OMS.AttachTrace(nil, nil)
+		return
+	}
+	f.OMS.AttachTrace(t, f.Engine.Now)
 }
 
 // missDispatcher feeds L2 demand misses to the stream prefetcher (for
@@ -344,4 +362,15 @@ func (f *Framework) broadcastLineUpdate(pid arch.PID, vpn arch.VPN, line int, in
 		p.TLB.UpdateLine(pid, vpn, line, inOverlay)
 	}
 	f.Engine.Stats.Inc("core.overlaying_read_exclusive")
+	if tr := f.Engine.Trace; tr != nil {
+		in := uint64(0)
+		if inOverlay {
+			in = 1
+		}
+		tr.Emit(f.Engine.Now(), "overlay", "read-exclusive",
+			sim.TraceArg{Key: "pid", Val: uint64(pid)},
+			sim.TraceArg{Key: "vpn", Val: uint64(vpn)},
+			sim.TraceArg{Key: "line", Val: uint64(line)},
+			sim.TraceArg{Key: "in_overlay", Val: in})
+	}
 }

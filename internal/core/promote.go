@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/mem"
+	"repro/internal/sim"
 	"repro/internal/vm"
 )
 
@@ -50,6 +51,12 @@ func (f *Framework) Promote(proc *vm.Process, vpn arch.VPN, action PromoteAction
 	}
 	opn := arch.OverlayPage(proc.PID, vpn)
 	entry := f.OMTTable.Get(opn)
+	if tr := f.Engine.Trace; tr != nil {
+		tr.Emit(f.Engine.Now(), "promote", action.String(),
+			sim.TraceArg{Key: "pid", Val: uint64(proc.PID)},
+			sim.TraceArg{Key: "vpn", Val: uint64(vpn)},
+			sim.TraceArg{Key: "lines", Val: uint64(entry.OBits.Count())})
+	}
 
 	switch action {
 	case CopyAndCommit:

@@ -17,10 +17,8 @@ import (
 // the data reaches the core. It panics on a true fault (unmapped page) —
 // workloads are expected to map their footprints.
 func (p *Port) Read(pid arch.PID, va arch.VirtAddr, done func()) {
-	if done == nil {
-		done = func() {}
-	}
 	f := p.f
+	done = f.observeAccess(done)
 	entry, lat, ok := p.TLB.Lookup(pid, va.Page())
 	if !ok {
 		panic(fmt.Sprintf("core: timed read fault at pid %d va %#x", pid, uint64(va)))
@@ -42,10 +40,8 @@ func (p *Port) Read(pid arch.PID, va arch.VirtAddr, done func()) {
 // cache's hit latency instead of a TLB translation. The line must be in
 // the page's overlay.
 func (p *Port) ReadOverlay(pid arch.PID, va arch.VirtAddr, done func()) {
-	if done == nil {
-		done = func() {}
-	}
 	f := p.f
+	done = f.observeAccess(done)
 	opn := arch.OverlayPage(pid, va.Page())
 	if !f.OMTTable.Get(opn).OBits.Has(va.Line()) {
 		panic(fmt.Sprintf("core: ReadOverlay of line outside overlay at pid %d va %#x", pid, uint64(va)))
@@ -70,10 +66,8 @@ func (p *Port) ReadOverlay(pid arch.PID, va arch.VirtAddr, done func()) {
 // the store completes at the L1 (after any overlaying-write remap or COW
 // resolution on its critical path).
 func (p *Port) Write(pid arch.PID, va arch.VirtAddr, done func()) {
-	if done == nil {
-		done = func() {}
-	}
 	f := p.f
+	done = f.observeAccess(done)
 	_, lat, ok := p.TLB.Lookup(pid, va.Page())
 	if !ok {
 		panic(fmt.Sprintf("core: timed write fault at pid %d va %#x", pid, uint64(va)))
@@ -143,6 +137,19 @@ func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done func()) 
 
 	default:
 		panic("core: unknown write kind")
+	}
+}
+
+// observeAccess wraps a port operation's completion callback so the
+// end-to-end latency (issue to completion, in cycles) lands in the
+// core.access_cycles histogram.
+func (f *Framework) observeAccess(done func()) func() {
+	start := f.Engine.Now()
+	return func() {
+		f.accessLat.Observe(uint64(f.Engine.Now() - start))
+		if done != nil {
+			done()
+		}
 	}
 }
 

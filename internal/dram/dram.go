@@ -71,6 +71,9 @@ type Controller struct {
 	busFreeAt sim.Cycle
 	draining  bool
 	kicked    bool // an issue event is already scheduled for this cycle
+
+	queueLat *sim.Histogram // read queueing delay: arrival → scheduler pick
+	readLat  *sim.Histogram // read service latency: arrival → data burst end
 }
 
 // New creates a controller attached to the engine.
@@ -87,6 +90,8 @@ func New(engine *sim.Engine, cfg Config) *Controller {
 		engine:    engine,
 		banks:     banks,
 		pendingWr: make(map[arch.PhysAddr]int),
+		queueLat:  engine.Stats.Histogram("dram.read_queue_cycles"),
+		readLat:   engine.Stats.Histogram("dram.read_cycles"),
 	}
 }
 
@@ -111,6 +116,8 @@ func (c *Controller) Read(addr arch.PhysAddr, done func()) {
 		// Forward from the write buffer: the youngest matching write holds
 		// the data, no DRAM access needed.
 		c.engine.Stats.Inc("dram.write_buffer_forwards")
+		c.queueLat.Observe(0)
+		c.readLat.Observe(uint64(c.cfg.WBForwardLat))
 		c.engine.Schedule(c.cfg.WBForwardLat, done)
 		return
 	}
@@ -231,6 +238,8 @@ func (c *Controller) issue() {
 			c.draining = false
 		}
 	} else {
+		c.queueLat.Observe(uint64(now - r.arrival))
+		c.readLat.Observe(uint64(finish - r.arrival))
 		done := r.done
 		c.engine.At(finish, done)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -19,6 +20,27 @@ import (
 type ForkParams struct {
 	WarmInstructions    uint64
 	MeasureInstructions uint64
+
+	// SeriesEpoch is the sampling period of the post-fork counter
+	// time-series in cycles (0 selects sim.DefaultEpoch).
+	SeriesEpoch sim.Cycle
+
+	// Trace, when non-nil, receives structured simulator events from
+	// every run (each run gets its own track in the log).
+	Trace *sim.TraceLog `json:"-"`
+}
+
+// forkSeriesCounters are the counters every fork run samples per epoch:
+// the overlay-vs-COW divergence signals plus the memory-system pressure
+// they induce.
+var forkSeriesCounters = []string{
+	"core.overlaying_writes",
+	"core.simple_overlay_writes",
+	"core.cow_page_copies",
+	"oms.segment_allocs",
+	"oms.frames_granted",
+	"dram.reads",
+	"tlb.misses",
 }
 
 // DefaultForkParams returns the scaled-down default window.
@@ -38,6 +60,12 @@ type MechanismResult struct {
 	Cycles     uint64
 	PageCopies uint64
 	Overlaying uint64
+
+	// Stats is the run's full counter/histogram registry; Series is the
+	// post-fork epoch time-series. Both are telemetry side-channels, not
+	// part of the figure data, so they stay out of the JSON results.
+	Stats  *sim.Stats  `json:"-"`
+	Series *sim.Series `json:"-"`
 }
 
 // ForkResult is one Figure 8/9 row: a benchmark measured under
@@ -65,14 +93,31 @@ func (r ForkResult) Speedup() float64 {
 	return r.CoW.CPI / r.OoW.CPI
 }
 
+// mechName labels a fork mechanism in series/trace output.
+func mechName(overlayMode bool) string {
+	if overlayMode {
+		return "oow"
+	}
+	return "cow"
+}
+
 // runMechanism executes one benchmark under one fork mechanism.
 func runMechanism(spec workload.Spec, params ForkParams, overlayMode bool) (MechanismResult, error) {
 	cfg := core.DefaultConfig()
 	// Footprint + room for COW copies + generous OMS headroom.
 	cfg.MemoryPages = spec.Pages*2 + 16384
+	return runMechanismCfg(spec, cfg, params, overlayMode)
+}
+
+// runMechanismCfg is runMechanism with an explicit framework config.
+func runMechanismCfg(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (MechanismResult, error) {
 	f, err := core.New(cfg)
 	if err != nil {
 		return MechanismResult{}, err
+	}
+	if params.Trace != nil {
+		params.Trace.BeginTrack(spec.Name + "/" + mechName(overlayMode))
+		f.SetTrace(params.Trace)
 	}
 	proc := f.VM.NewProcess()
 	if err := spec.MapFootprint(f, proc); err != nil {
@@ -97,9 +142,15 @@ func runMechanism(spec workload.Spec, params ForkParams, overlayMode bool) (Mech
 	copiesBase := f.Engine.Stats.Get("core.cow_page_copies")
 	overlayingBase := f.Engine.Stats.Get("core.overlaying_writes")
 
+	// Sample the divergence counters every epoch of the measured region.
+	series := sim.NewSeries(spec.Name+"/"+mechName(overlayMode),
+		params.SeriesEpoch, forkSeriesCounters...)
+	f.Engine.Attach(series)
+
 	measureDone := false
 	c.Run(params.MeasureInstructions, func() { measureDone = true })
 	f.Engine.Run()
+	f.Engine.CloseSeries(series)
 	if !measureDone {
 		return MechanismResult{}, fmt.Errorf("exp: measurement never finished")
 	}
@@ -111,12 +162,16 @@ func runMechanism(spec workload.Spec, params ForkParams, overlayMode bool) (Mech
 	// point.
 	regularFrames := f.Mem.AllocatedPages() - framesBase - (f.OMS.FramesOwned() - omsFramesBase)
 	added := regularFrames*arch.PageSize + (f.OMS.BytesInUse() - omsBase)
+	stats := &sim.Stats{}
+	stats.Merge(&f.Engine.Stats)
 	return MechanismResult{
 		AddedBytes: added,
 		CPI:        c.CPI(),
 		Cycles:     uint64(c.Cycles()),
 		PageCopies: f.Engine.Stats.Get("core.cow_page_copies") - copiesBase,
 		Overlaying: f.Engine.Stats.Get("core.overlaying_writes") - overlayingBase,
+		Stats:      stats,
+		Series:     series,
 	}, nil
 }
 
@@ -174,13 +229,42 @@ func RunForkCPI(spec workload.Spec, cfg core.Config, params ForkParams, overlayM
 // RunWithStats runs one benchmark under one mechanism with the given
 // config and returns the engine's full counter dump (debug/CLI aid).
 func RunWithStats(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (string, error) {
-	f, c, err := runToFork(spec, cfg, params, overlayMode)
+	out, _, err := RunStatsExport(spec, cfg, params, overlayMode)
+	return out, err
+}
+
+// RunStatsExport runs one benchmark under one mechanism and returns both
+// the printable counter dump and the machine-readable export (counters,
+// histograms, post-fork series; plus the trace if params.Trace is set).
+func RunStatsExport(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (string, *sim.Export, error) {
+	r, err := runMechanismCfg(spec, cfg, params, overlayMode)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	c.Run(params.MeasureInstructions, nil)
-	f.Engine.Run()
-	return fmt.Sprintf("cpi %.3f\n%s", c.CPI(), f.Engine.Stats.String()), nil
+	ex := sim.ExportFrom("stats", r.Stats, r.Series)
+	ex.Config = params
+	ex.Results = r
+	return fmt.Sprintf("cpi %.3f\n%s", r.CPI, r.Stats.String()), ex, nil
+}
+
+// ForkExport bundles a fork-suite run into one machine-readable export:
+// counters and histograms merged across every (benchmark, mechanism) run,
+// one post-fork series per run, and the Figure 8/9 rows as results.
+func ForkExport(params ForkParams, results []ForkResult) *sim.Export {
+	merged := &sim.Stats{}
+	var series []*sim.Series
+	for i := range results {
+		for _, m := range []*MechanismResult{&results[i].CoW, &results[i].OoW} {
+			merged.Merge(m.Stats)
+			if m.Series != nil {
+				series = append(series, m.Series)
+			}
+		}
+	}
+	ex := sim.ExportFrom("fork", merged, series...)
+	ex.Config = params
+	ex.Results = results
+	return ex
 }
 
 // runToFork builds the system, warms the benchmark, and forks.

@@ -56,6 +56,8 @@ func ClassFor(n int) int {
 type Store struct {
 	memory *mem.Memory
 	stats  *sim.Stats
+	trace  *sim.TraceLog    // nil = tracing disabled
+	now    func() sim.Cycle // clock for trace timestamps
 
 	free      [NumClasses][]arch.PhysAddr
 	freeClass map[arch.PhysAddr]int // base → class for free segments
@@ -77,6 +79,14 @@ func New(memory *mem.Memory, stats *sim.Stats, initialFrames int) (*Store, error
 		return nil, err
 	}
 	return s, nil
+}
+
+// AttachTrace wires the store to an event trace; `now` supplies the
+// timestamp for emitted events (segment alloc/free). The store has no
+// engine reference of its own, so the owner passes the clock in.
+func (s *Store) AttachTrace(t *sim.TraceLog, now func() sim.Cycle) {
+	s.trace = t
+	s.now = now
 }
 
 func (s *Store) addFrames(n int) error {
@@ -121,6 +131,12 @@ func (s *Store) AllocSegment(class int) (arch.PhysAddr, error) {
 	s.inUse += ClassBytes(class)
 	if s.stats != nil {
 		s.stats.Inc("oms.segment_allocs")
+	}
+	if s.trace != nil {
+		s.trace.Emit(s.now(), "oms", "segment-alloc",
+			sim.TraceArg{Key: "base", Val: uint64(base)},
+			sim.TraceArg{Key: "class", Val: uint64(class)},
+			sim.TraceArg{Key: "bytes", Val: uint64(ClassBytes(class))})
 	}
 	if class < NumClasses-1 {
 		s.initMetadata(base)
@@ -168,6 +184,12 @@ func (s *Store) FreeSegment(base arch.PhysAddr) {
 	}
 	delete(s.segClass, base)
 	s.inUse -= ClassBytes(class)
+	if s.trace != nil {
+		s.trace.Emit(s.now(), "oms", "segment-free",
+			sim.TraceArg{Key: "base", Val: uint64(base)},
+			sim.TraceArg{Key: "class", Val: uint64(class)},
+			sim.TraceArg{Key: "bytes", Val: uint64(ClassBytes(class))})
+	}
 	for class < NumClasses-1 {
 		buddy := base ^ arch.PhysAddr(ClassBytes(class))
 		if c, free := s.freeClass[buddy]; !free || c != class {

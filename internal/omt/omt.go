@@ -103,6 +103,7 @@ func (t *Table) Delete(opn arch.OPN) {
 type Cache struct {
 	table   *Table
 	stats   *sim.Stats
+	missLog *sim.Histogram // OMT walk penalty paid per cache miss
 	cap     int
 	hitLat  sim.Cycle
 	missLat sim.Cycle
@@ -124,7 +125,7 @@ func DefaultCacheConfig() CacheConfig {
 
 // NewCache builds the OMT cache over the table.
 func NewCache(cfg CacheConfig, table *Table, stats *sim.Stats) *Cache {
-	return &Cache{
+	c := &Cache{
 		table:   table,
 		stats:   stats,
 		cap:     cfg.Entries,
@@ -132,6 +133,10 @@ func NewCache(cfg CacheConfig, table *Table, stats *sim.Stats) *Cache {
 		missLat: cfg.MissLatency,
 		stamps:  make(map[arch.OPN]uint64),
 	}
+	if stats != nil {
+		c.missLog = stats.Histogram("omt.miss_penalty_cycles")
+	}
+	return c
 }
 
 // Lookup returns the (authoritative) entry pointer for opn and the access
@@ -147,6 +152,7 @@ func (c *Cache) Lookup(opn arch.OPN) (*Entry, sim.Cycle) {
 	}
 	if c.stats != nil {
 		c.stats.Inc("omt.cache_misses")
+		c.missLog.Observe(uint64(c.missLat))
 	}
 	if len(c.stamps) >= c.cap {
 		var victim arch.OPN

@@ -44,6 +44,12 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	Stats  Stats
+
+	// Trace, when non-nil, receives typed simulator events from every
+	// component wired to this engine (see TraceLog). Nil disables tracing.
+	Trace *TraceLog
+
+	series []*Series
 }
 
 // NewEngine returns an engine with time at cycle zero.
@@ -70,6 +76,26 @@ func (e *Engine) At(cycle Cycle, fn Event) {
 // Pending reports the number of events not yet run.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// Attach registers a series for sampling as the clock advances. The
+// series' epoch boundaries are aligned to absolute multiples of its epoch
+// length, starting after the current cycle.
+func (e *Engine) Attach(s *Series) {
+	s.alignTo(e.now)
+	e.series = append(e.series, s)
+}
+
+// CloseSeries flushes the series' final partial epoch at the current
+// cycle and detaches it from the engine.
+func (e *Engine) CloseSeries(s *Series) {
+	s.Finish(e.now, &e.Stats)
+	for i, attached := range e.series {
+		if attached == s {
+			e.series = append(e.series[:i], e.series[i+1:]...)
+			break
+		}
+	}
+}
+
 // Step runs the next event, advancing the clock to its cycle. It reports
 // whether an event was run.
 func (e *Engine) Step() bool {
@@ -78,6 +104,11 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(queuedEvent)
 	e.now = ev.at
+	if len(e.series) > 0 {
+		for _, s := range e.series {
+			s.advance(e.now, &e.Stats)
+		}
+	}
 	ev.fn()
 	return true
 }

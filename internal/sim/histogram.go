@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket 0 holds the
+// value 0 exactly; bucket k (k ≥ 1) holds values in [2^(k-1), 2^k - 1].
+// 64 value buckets cover the full uint64 range.
+const histBuckets = 65
+
+// Histogram is a power-of-two-bucketed distribution of uint64 samples
+// (latencies in cycles, sizes in bytes, …). Observation is O(1) and
+// allocation-free, so histograms are safe to keep on simulator hot paths;
+// quantiles are recovered by linear interpolation inside the matching
+// bucket. The zero value is ready to use.
+type Histogram struct {
+	name     string
+	count    uint64
+	sum      uint64
+	min, max uint64
+	buckets  [histBuckets]uint64
+}
+
+// NewHistogram returns an empty named histogram.
+func NewHistogram(name string) *Histogram { return &Histogram{name: name} }
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << uint(i-1)
+	if i >= 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, uint64(1)<<uint(i) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest observed sample (0 if empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest observed sample (0 if empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) by linear
+// interpolation within the bucket containing the target rank, clamped to
+// the observed [min, max]. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo, hi := BucketBounds(i)
+			pos := (target - float64(cum)) / float64(c)
+			v := float64(lo) + (float64(hi)-float64(lo))*pos
+			return clampf(v, float64(h.min), float64(h.max))
+		}
+		cum += c
+	}
+	return float64(h.max)
+}
+
+// P50, P95 and P99 are the conventional latency percentiles.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Bucket returns the sample count of bucket i (0 ≤ i < NumBuckets).
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// NumBuckets is the number of buckets a histogram carries.
+func (h *Histogram) NumBuckets() int { return histBuckets }
+
+// Merge folds other's samples into h (multi-core experiments combine
+// per-framework histograms this way).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() { *h = Histogram{name: h.name} }
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11}, {1<<11 - 1, 11},
+		{math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if c.v < lo || c.v > hi {
+			t.Errorf("value %d outside BucketBounds(%d) = [%d, %d]", c.v, c.bucket, lo, hi)
+		}
+	}
+
+	// Buckets must tile the uint64 range without gaps or overlap.
+	prevHi := uint64(0)
+	for i := 1; i < histBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi+1 {
+			t.Errorf("bucket %d starts at %d, want %d", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Errorf("bucket %d has hi %d < lo %d", i, hi, lo)
+		}
+		prevHi = hi
+	}
+	if prevHi != math.MaxUint64 {
+		t.Errorf("buckets end at %d, want MaxUint64", prevHi)
+	}
+
+	h := NewHistogram("t")
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	for _, c := range cases {
+		if h.Bucket(c.bucket) == 0 {
+			t.Errorf("bucket %d empty after observing %d", c.bucket, c.v)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []uint64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 100 || h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("count/sum/min/max = %d/%d/%d/%d, want 4/100/10/40",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if h.Mean() != 25 {
+		t.Errorf("Mean() = %v, want 25", h.Mean())
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// 100 samples of the value 20 — every quantile lands in bucket 5
+	// ([16, 31]) and must clamp to the observed min=max=20.
+	h := NewHistogram("q")
+	for i := 0; i < 100; i++ {
+		h.Observe(20)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 20 {
+			t.Errorf("Quantile(%v) = %v, want 20 (clamped to min/max)", q, got)
+		}
+	}
+
+	// 50 samples at 1, 50 at 1024: the median must stay in the low
+	// bucket's range and p99 in the high bucket's range [1024, 2047],
+	// clamped to max 1024.
+	h2 := NewHistogram("q2")
+	for i := 0; i < 50; i++ {
+		h2.Observe(1)
+		h2.Observe(1024)
+	}
+	if p50 := h2.P50(); p50 != 1 {
+		t.Errorf("P50() = %v, want 1", p50)
+	}
+	if p99 := h2.P99(); p99 != 1024 {
+		t.Errorf("P99() = %v, want 1024 (clamped to max)", p99)
+	}
+
+	// Interpolation inside a bucket: 10 samples spanning bucket 7
+	// ([64, 127]). The interpolated quantile must be monotone and stay
+	// within the bucket bounds.
+	h3 := NewHistogram("q3")
+	for i := 0; i < 10; i++ {
+		h3.Observe(64 + uint64(i)*7)
+	}
+	last := -1.0
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		v := h3.Quantile(q)
+		if v < 64 || v > 127 {
+			t.Errorf("Quantile(%v) = %v outside bucket [64, 127]", q, v)
+		}
+		if v < last {
+			t.Errorf("Quantile(%v) = %v not monotone (prev %v)", q, v, last)
+		}
+		last = v
+	}
+}
+
+func TestHistogramZeroSample(t *testing.T) {
+	var h Histogram // zero value must be usable
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram count/sum/min/max = %d/%d/%d/%d, want all 0",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean() = %v, want 0", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// A histogram of only zero-valued samples stays in bucket 0.
+	h.Observe(0)
+	h.Observe(0)
+	if h.Bucket(0) != 2 || h.Count() != 2 || h.Max() != 0 {
+		t.Errorf("after two Observe(0): bucket0=%d count=%d max=%d, want 2/2/0",
+			h.Bucket(0), h.Count(), h.Max())
+	}
+	if h.P95() != 0 {
+		t.Errorf("P95() of all-zero samples = %v, want 0", h.P95())
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a := NewHistogram("a")
+	b := NewHistogram("b")
+	for i := uint64(1); i <= 10; i++ {
+		a.Observe(i)
+	}
+	for i := uint64(100); i <= 105; i++ {
+		b.Observe(i)
+	}
+	a.Merge(b)
+	if a.Count() != 16 || a.Min() != 1 || a.Max() != 105 {
+		t.Errorf("merged count/min/max = %d/%d/%d, want 16/1/105", a.Count(), a.Min(), a.Max())
+	}
+	a.Merge(nil) // must be a no-op
+	if a.Count() != 16 {
+		t.Errorf("Merge(nil) changed count to %d", a.Count())
+	}
+
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 || a.Name() != "a" {
+		t.Errorf("after Reset: count=%d sum=%d name=%q", a.Count(), a.Sum(), a.Name())
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+// DefaultEpoch is the default epoch length of a Series in cycles.
+const DefaultEpoch Cycle = 100_000
+
+// SeriesRow is one epoch sample: the cumulative value of every tracked
+// counter at the end of the epoch. Consumers difference adjacent rows to
+// recover per-epoch rates.
+type SeriesRow struct {
+	EndCycle Cycle
+	Values   []uint64
+}
+
+// Series samples a fixed set of counters from a Stats registry every
+// `epoch` cycles of simulated time, producing a time-series of cumulative
+// counter values. Attach a series to an engine (Engine.Attach) to have it
+// sampled as the clock advances; call Engine.CloseSeries (or Finish) to
+// flush the final partial epoch.
+//
+// Epoch boundaries are aligned to absolute multiples of the epoch length,
+// so series attached at different times line up row-for-row. Events that
+// jump the clock across several boundaries produce one row per boundary
+// crossed (with identical cumulative values), keeping rows evenly spaced
+// in simulated time.
+type Series struct {
+	name     string
+	epoch    Cycle
+	names    []string
+	next     Cycle // next un-sampled epoch boundary
+	rows     []SeriesRow
+	finished bool
+}
+
+// NewSeries creates a series sampling the named counters every epoch
+// cycles (epoch ≤ 0 selects DefaultEpoch).
+func NewSeries(name string, epoch Cycle, counters ...string) *Series {
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	names := make([]string, len(counters))
+	copy(names, counters)
+	return &Series{name: name, epoch: epoch, names: names, next: epoch}
+}
+
+// Name returns the series' label (e.g. "mcf/oow").
+func (s *Series) Name() string { return s.name }
+
+// Epoch returns the epoch length in cycles.
+func (s *Series) Epoch() Cycle { return s.epoch }
+
+// Counters returns the tracked counter names, in column order.
+func (s *Series) Counters() []string { return s.names }
+
+// Rows returns the sampled rows in time order. The slice is shared; do
+// not mutate it.
+func (s *Series) Rows() []SeriesRow { return s.rows }
+
+// alignTo positions the first boundary strictly after `now`, on an
+// absolute multiple of the epoch (Engine.Attach calls this).
+func (s *Series) alignTo(now Cycle) {
+	s.next = now - now%s.epoch + s.epoch
+}
+
+// advance samples every epoch boundary at or before `now`.
+func (s *Series) advance(now Cycle, stats *Stats) {
+	if s.finished {
+		return
+	}
+	for s.next <= now {
+		s.rows = append(s.rows, s.sample(s.next, stats))
+		s.next += s.epoch
+	}
+}
+
+// Finish flushes the final partial epoch (a row at `now` if any time has
+// passed since the last boundary) and freezes the series.
+func (s *Series) Finish(now Cycle, stats *Stats) {
+	if s.finished {
+		return
+	}
+	s.advance(now, stats)
+	if len(s.rows) == 0 || s.rows[len(s.rows)-1].EndCycle < now {
+		s.rows = append(s.rows, s.sample(now, stats))
+	}
+	s.finished = true
+}
+
+func (s *Series) sample(end Cycle, stats *Stats) SeriesRow {
+	vals := make([]uint64, len(s.names))
+	for i, n := range s.names {
+		vals[i] = stats.Get(n)
+	}
+	return SeriesRow{EndCycle: end, Values: vals}
+}

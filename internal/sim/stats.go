@@ -6,11 +6,18 @@ import (
 	"strings"
 )
 
-// Stats is a flat registry of named counters. Components record event
-// counts (cache hits, DRAM row conflicts, overlaying writes, …) into the
-// engine's registry so experiments can report them uniformly.
+// Stats is a flat registry of named counters and latency histograms.
+// Components record event counts (cache hits, DRAM row conflicts,
+// overlaying writes, …) and latency samples into the engine's registry so
+// experiments can report them uniformly.
+//
+// The zero value is ready to use: Get, Snapshot, Names, Histograms and
+// String are all safe before the first Add/Observe and behave exactly as
+// they do on an empty registry (zero counts, empty — but non-nil —
+// snapshot maps).
 type Stats struct {
 	counters map[string]uint64
+	hists    map[string]*Histogram
 }
 
 // Add increments the named counter by n, creating it if needed.
@@ -27,8 +34,51 @@ func (s *Stats) Inc(name string) { s.Add(name, 1) }
 // Get returns the counter's value (zero if never touched).
 func (s *Stats) Get(name string) uint64 { return s.counters[name] }
 
-// Reset clears every counter.
-func (s *Stats) Reset() { s.counters = nil }
+// Histogram returns the named histogram, creating it empty if needed.
+// Components fetch their handle once at construction and call Observe on
+// it directly, keeping the per-sample path free of map lookups.
+func (s *Stats) Histogram(name string) *Histogram {
+	if s.hists == nil {
+		s.hists = make(map[string]*Histogram)
+	}
+	h := s.hists[name]
+	if h == nil {
+		h = NewHistogram(name)
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns all registered histograms keyed by name. The
+// histograms are shared, not copies; the map itself is fresh.
+func (s *Stats) Histograms() map[string]*Histogram {
+	out := make(map[string]*Histogram, len(s.hists))
+	for k, v := range s.hists {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears every counter and histogram.
+func (s *Stats) Reset() {
+	s.counters = nil
+	s.hists = nil
+}
+
+// Merge folds other's counters (summed) and histograms (sample-merged)
+// into s. Multi-core and multi-run experiments combine per-framework
+// registries this way instead of summing counters by hand.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.counters {
+		s.Add(name, v)
+	}
+	for name, h := range other.hists {
+		s.Histogram(name).Merge(h)
+	}
+}
 
 // Names returns all counter names in sorted order.
 func (s *Stats) Names() []string {
@@ -40,7 +90,17 @@ func (s *Stats) Names() []string {
 	return names
 }
 
-// Snapshot returns a copy of all counters.
+// HistogramNames returns all histogram names in sorted order.
+func (s *Stats) HistogramNames() []string {
+	names := make([]string, 0, len(s.hists))
+	for k := range s.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters. The map is never nil.
 func (s *Stats) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(s.counters))
 	for k, v := range s.counters {
@@ -49,11 +109,17 @@ func (s *Stats) Snapshot() map[string]uint64 {
 	return out
 }
 
-// String renders counters one per line, sorted by name.
+// String renders counters one per line sorted by name, followed by one
+// summary line per histogram.
 func (s *Stats) String() string {
 	var sb strings.Builder
 	for _, name := range s.Names() {
 		fmt.Fprintf(&sb, "%-40s %12d\n", name, s.counters[name])
+	}
+	for _, name := range s.HistogramNames() {
+		h := s.hists[name]
+		fmt.Fprintf(&sb, "%-40s %12d  mean %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %d\n",
+			name+" (hist)", h.Count(), h.Mean(), h.P50(), h.P95(), h.P99(), h.Max())
 	}
 	return sb.String()
 }

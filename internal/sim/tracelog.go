@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceArg is one key/value annotation on a trace event.
+type TraceArg struct {
+	Key string
+	Val uint64
+}
+
+// TraceEvent is one typed simulator event: a point in simulated time with
+// a category, a name, the logical track it belongs to, and annotations.
+type TraceEvent struct {
+	Cycle Cycle
+	Track uint64
+	Cat   string
+	Name  string
+	Args  []TraceArg
+}
+
+// TraceLog is a bounded ring buffer of TraceEvents. When the buffer is
+// full the oldest events are overwritten, so a long run keeps the most
+// recent window — Dropped reports how many fell off. The log renders to
+// Chrome trace_event JSON (WriteChrome), loadable in chrome://tracing and
+// Perfetto's legacy importer.
+//
+// A nil *TraceLog means tracing is disabled; emit sites guard with a nil
+// check so the disabled path costs one branch and no allocation.
+type TraceLog struct {
+	cap    int
+	buf    []TraceEvent
+	next   int // overwrite position once the buffer is full
+	total  uint64
+	track  uint64
+	tracks []string // track id → display name (index = id - 1)
+}
+
+// DefaultTraceCap is the default ring capacity in events.
+const DefaultTraceCap = 1 << 16
+
+// NewTraceLog creates a log holding at most `capacity` events
+// (capacity ≤ 0 selects DefaultTraceCap).
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceLog{cap: capacity}
+}
+
+// BeginTrack starts a new logical track (one per simulated run or
+// process); subsequent events are stamped with its id, and WriteChrome
+// names the track in the viewer.
+func (t *TraceLog) BeginTrack(name string) uint64 {
+	t.tracks = append(t.tracks, name)
+	t.track = uint64(len(t.tracks))
+	return t.track
+}
+
+// Emit appends one event at the given cycle.
+func (t *TraceLog) Emit(cycle Cycle, cat, name string, args ...TraceArg) {
+	ev := TraceEvent{Cycle: cycle, Track: t.track, Cat: cat, Name: name, Args: args}
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % t.cap
+	}
+	t.total++
+}
+
+// Total returns how many events were ever emitted.
+func (t *TraceLog) Total() uint64 { return t.total }
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *TraceLog) Dropped() uint64 { return t.total - uint64(len(t.buf)) }
+
+// Events returns the retained events in emission order.
+func (t *TraceLog) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// chromeEvent is one record of the Chrome trace_event format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Pid  uint64            `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// WriteChrome renders the retained events as Chrome trace_event JSON:
+// one instant event ("ph":"i") per simulator event with the cycle count
+// as the timestamp, plus process_name metadata naming each track.
+func (t *TraceLog) WriteChrome(w io.Writer) error {
+	var records []json.RawMessage
+	for i, name := range t.tracks {
+		meta := map[string]interface{}{
+			"name": "process_name",
+			"ph":   "M",
+			"pid":  uint64(i + 1),
+			"tid":  uint64(0),
+			"args": map[string]string{"name": name},
+		}
+		raw, err := json.Marshal(meta)
+		if err != nil {
+			return err
+		}
+		records = append(records, raw)
+	}
+	for _, ev := range t.Events() {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   "i",
+			Ts:   uint64(ev.Cycle),
+			Pid:  ev.Track,
+			Tid:  0,
+			S:    "t",
+		}
+		if len(ev.Args) > 0 {
+			ce.Args = make(map[string]uint64, len(ev.Args))
+			for _, a := range ev.Args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		raw, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		records = append(records, raw)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: records})
+}

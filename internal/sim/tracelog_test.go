@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestTraceLogRingWraparound(t *testing.T) {
+	tl := NewTraceLog(4)
+	tl.BeginTrack("run")
+	for i := 0; i < 10; i++ {
+		tl.Emit(Cycle(i), "cat", "ev", TraceArg{Key: "i", Val: uint64(i)})
+	}
+	if tl.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", tl.Total())
+	}
+	if tl.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", tl.Dropped())
+	}
+	evs := tl.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() returned %d events, want 4", len(evs))
+	}
+	// The ring keeps the most recent window, in emission order.
+	for i, ev := range evs {
+		if want := Cycle(6 + i); ev.Cycle != want {
+			t.Errorf("event %d at cycle %d, want %d", i, ev.Cycle, want)
+		}
+	}
+
+	// A log that never fills returns everything in order.
+	small := NewTraceLog(100)
+	small.Emit(1, "a", "x")
+	small.Emit(2, "a", "y")
+	if small.Dropped() != 0 || len(small.Events()) != 2 {
+		t.Errorf("unfilled ring: dropped=%d events=%d", small.Dropped(), len(small.Events()))
+	}
+}
+
+func TestTraceLogTracks(t *testing.T) {
+	tl := NewTraceLog(16)
+	a := tl.BeginTrack("first")
+	tl.Emit(5, "c", "e1")
+	b := tl.BeginTrack("second")
+	tl.Emit(6, "c", "e2")
+	if a != 1 || b != 2 {
+		t.Errorf("track ids = %d, %d, want 1, 2", a, b)
+	}
+	evs := tl.Events()
+	if evs[0].Track != 1 || evs[1].Track != 2 {
+		t.Errorf("event tracks = %d, %d, want 1, 2", evs[0].Track, evs[1].Track)
+	}
+}
+
+// TestGoldenChromeTrace locks the Chrome trace_event rendering against a
+// golden file so the output stays loadable in chrome://tracing and
+// Perfetto. Regenerate with: go test ./internal/sim -run TestGolden -update
+func TestGoldenChromeTrace(t *testing.T) {
+	tl := NewTraceLog(16)
+	tl.BeginTrack("mcf/oow")
+	tl.Emit(120, "overlay", "create",
+		TraceArg{Key: "pid", Val: 1}, TraceArg{Key: "vpn", Val: 0x40})
+	tl.Emit(340, "oms", "segment-alloc",
+		TraceArg{Key: "base", Val: 4096}, TraceArg{Key: "class", Val: 0},
+		TraceArg{Key: "bytes", Val: 256})
+	tl.BeginTrack("mcf/cow")
+	tl.Emit(512, "promote", "copy-and-commit",
+		TraceArg{Key: "pid", Val: 2}, TraceArg{Key: "vpn", Val: 0x40},
+		TraceArg{Key: "lines", Val: 3})
+
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+
+	// Structural checks first: valid JSON with the trace_event shape.
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 { // 2 metadata + 3 instants
+		t.Fatalf("got %d trace events, want 5", len(doc.TraceEvents))
+	}
+	meta, instants := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Errorf("instant event missing thread scope: %v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if meta != 2 || instants != 3 {
+		t.Errorf("got %d metadata + %d instant events, want 2 + 3", meta, instants)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace output differs from golden file %s\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -146,20 +146,24 @@ func (l *level) flushPID(pid arch.PID) {
 
 // TLB is the two-level TLB.
 type TLB struct {
-	cfg    Config
-	l1, l2 *level
-	walker Walker
-	stats  *sim.Stats
+	cfg       Config
+	l1, l2    *level
+	walker    Walker
+	stats     *sim.Stats
+	lookupLat *sim.Histogram // every translation's latency (hits and misses)
+	walkLat   *sim.Histogram // miss path only: L1 + L2 probes + page walk
 }
 
 // New builds a TLB backed by the walker.
 func New(cfg Config, walker Walker, stats *sim.Stats) *TLB {
 	return &TLB{
-		cfg:    cfg,
-		l1:     newLevel(cfg.L1Entries, cfg.L1Ways),
-		l2:     newLevel(cfg.L2Entries, cfg.L2Ways),
-		walker: walker,
-		stats:  stats,
+		cfg:       cfg,
+		l1:        newLevel(cfg.L1Entries, cfg.L1Ways),
+		l2:        newLevel(cfg.L2Entries, cfg.L2Ways),
+		walker:    walker,
+		stats:     stats,
+		lookupLat: stats.Histogram("tlb.lookup_cycles"),
+		walkLat:   stats.Histogram("tlb.walk_cycles"),
 	}
 }
 
@@ -170,16 +174,20 @@ func (t *TLB) Lookup(pid arch.PID, vpn arch.VPN) (Entry, sim.Cycle, bool) {
 	k := key{pid, vpn}
 	if w, ok := t.l1.lookup(k); ok {
 		t.stats.Inc("tlb.l1_hits")
+		t.lookupLat.Observe(uint64(t.cfg.L1Latency))
 		return w.entry, t.cfg.L1Latency, true
 	}
 	if w, ok := t.l2.lookup(k); ok {
 		t.stats.Inc("tlb.l2_hits")
 		e := w.entry
 		t.l1.insert(k, e)
+		t.lookupLat.Observe(uint64(t.cfg.L1Latency + t.cfg.L2Latency))
 		return e, t.cfg.L1Latency + t.cfg.L2Latency, true
 	}
 	t.stats.Inc("tlb.misses")
 	lat := t.cfg.L1Latency + t.cfg.L2Latency + t.cfg.WalkLatency
+	t.lookupLat.Observe(uint64(lat))
+	t.walkLat.Observe(uint64(lat))
 	e, ok := t.walker.Walk(pid, vpn)
 	if !ok {
 		return Entry{}, lat, false
