@@ -8,21 +8,28 @@
 //	overlaysim linesize               Figure 11 (memory overhead vs granularity)
 //	overlaysim sweep                  §5.2 sparsity sweep (overlays vs dense)
 //	overlaysim dualcore               extension: divergence with both processes running
+//	overlaysim bench                  fixed job matrix: parallel-vs-sequential baseline for CI
 //	overlaysim trace                  record a workload trace / replay one through the simulator
 //	overlaysim stats                  run one fork benchmark and dump all counters
 //
 // Most subcommands accept -json=<file> (machine-readable schema-versioned
 // export), -csv=<file> (epoch series rows) and -tracelog=<file> (Chrome
-// trace_event JSON for chrome://tracing / Perfetto). Usage errors exit
-// with status 2, runtime errors with status 1.
+// trace_event JSON for chrome://tracing / Perfetto). The experiment
+// subcommands accept -parallel=<n> to fan independent simulations across
+// n worker goroutines (results are bit-identical at any n). Usage errors
+// exit with status 2, runtime errors with status 1.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -35,11 +42,12 @@ import (
 
 // command is one subcommand: its flag set is bound to closure variables
 // inside the constructor, and run executes after a successful parse.
+// Live progress goes to stderr; results go to stdout.
 type command struct {
 	name    string
 	summary string
 	flags   *flag.FlagSet
-	run     func(stdout io.Writer) error
+	run     func(stdout, stderr io.Writer) error
 }
 
 // usageError marks an error as a bad-invocation problem (exit status 2)
@@ -85,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := cmd.flags.Parse(args[1:]); err != nil {
 		return 2
 	}
-	if err := cmd.run(stdout); err != nil {
+	if err := cmd.run(stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "overlaysim:", err)
 		var ue usageError
 		if errors.As(err, &ue) {
@@ -106,9 +114,24 @@ func commands() []*command {
 		newLinesizeCmd(),
 		newSweepCmd(),
 		newDualcoreCmd(),
+		newBenchCmd(),
 		newTraceCmd(),
 		newStatsCmd(),
 	}
+}
+
+// addParallelFlag registers the shared -parallel flag. parsePool turns
+// it into the experiment pool, rejecting negative counts as usage
+// errors (0 selects GOMAXPROCS).
+func addParallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 1, "worker goroutines for independent simulations (0 = GOMAXPROCS)")
+}
+
+func parsePool(parallel int, stderr io.Writer) (exp.Pool, error) {
+	if parallel < 0 {
+		return exp.Pool{}, usageError(fmt.Sprintf("invalid -parallel %d: must be >= 0", parallel))
+	}
+	return exp.Pool{Parallel: parallel, Progress: stderr}, nil
 }
 
 // telemetryFlags is the flag group shared by every measuring subcommand.
@@ -183,7 +206,7 @@ func newConfigCmd() *command {
 		name:    "config",
 		summary: "print the simulated system (Table 2)",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
+		run: func(stdout, _ io.Writer) error {
 			system.Describe(stdout, system.Default())
 			return nil
 		},
@@ -195,12 +218,17 @@ func newForkCmd() *command {
 	warm := fs.Uint64("warm", exp.DefaultForkParams().WarmInstructions, "warm-up instructions before the fork")
 	measure := fs.Uint64("measure", exp.DefaultForkParams().MeasureInstructions, "instructions measured after the fork")
 	bench := fs.String("bench", "", "run a single benchmark (default: all 15)")
+	parallel := addParallelFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "fork",
 		summary: "Figures 8 and 9: overlay-on-write vs copy-on-write",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
+		run: func(stdout, stderr io.Writer) error {
+			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
 			tl := tel.traceLog()
 			params := exp.ForkParams{
 				WarmInstructions:    *warm,
@@ -212,7 +240,7 @@ func newForkCmd() *command {
 			if *bench != "" {
 				names = []string{*bench}
 			}
-			results, err := exp.RunForkSuite(params, names)
+			results, err := exp.RunForkSuitePool(context.Background(), pool, params, names)
 			if err != nil {
 				return err
 			}
@@ -236,13 +264,21 @@ func newSpmvCmd() *command {
 	fs := flag.NewFlagSet("spmv", flag.ContinueOnError)
 	limit := fs.Int("matrices", 0, "number of suite matrices to run (0 = all 87)")
 	dense := fs.Bool("dense", false, "also run the dense baseline")
+	parallel := addParallelFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "spmv",
 		summary: "Figure 10: SpMV with overlays vs CSR",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
-			results, err := exp.RunFigure10(*limit, *dense)
+		run: func(stdout, stderr io.Writer) error {
+			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
+			if *limit < 0 {
+				return usageError(fmt.Sprintf("invalid -matrices %d: must be >= 0", *limit))
+			}
+			results, err := exp.RunFigure10Pool(context.Background(), pool, *limit, *dense)
 			if err != nil {
 				return err
 			}
@@ -260,13 +296,24 @@ func newSpmvCmd() *command {
 func newLinesizeCmd() *command {
 	fs := flag.NewFlagSet("linesize", flag.ContinueOnError)
 	limit := fs.Int("matrices", 0, "number of suite matrices (0 = all 87)")
+	parallel := addParallelFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "linesize",
 		summary: "Figure 11: memory overhead vs mapping granularity",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
-			results := exp.RunFigure11(*limit)
+		run: func(stdout, stderr io.Writer) error {
+			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
+			if *limit < 0 {
+				return usageError(fmt.Sprintf("invalid -matrices %d: must be >= 0", *limit))
+			}
+			results, err := exp.RunFigure11Pool(context.Background(), pool, *limit)
+			if err != nil {
+				return err
+			}
 			exp.PrintFigure11(stdout, results)
 			if !tel.wanted() {
 				return nil
@@ -282,13 +329,24 @@ func newSweepCmd() *command {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	points := fs.Int("points", 11, "sparsity levels between 0%% and 100%%")
 	rows := fs.Int("rows", 256, "matrix dimension")
+	parallel := addParallelFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "sweep",
 		summary: "§5.2 sparsity sweep: overlays vs dense",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
-			results, err := exp.RunSparsitySweep(*points, *rows)
+		run: func(stdout, stderr io.Writer) error {
+			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
+			if *points < 2 {
+				return usageError(fmt.Sprintf("invalid -points %d: need at least 2 sweep points", *points))
+			}
+			if *rows < 8 {
+				return usageError(fmt.Sprintf("invalid -rows %d: need at least one cache line of values", *rows))
+			}
+			results, err := exp.RunSparsitySweepPool(context.Background(), pool, *points, *rows)
 			if err != nil {
 				return err
 			}
@@ -305,15 +363,20 @@ func newSweepCmd() *command {
 
 func newDualcoreCmd() *command {
 	fs := flag.NewFlagSet("dualcore", flag.ContinueOnError)
+	parallel := addParallelFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "dualcore",
 		summary: "extension: page divergence with both processes running",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
-			results := []exp.DualCoreResult{
-				exp.RunDualCoreDivergence(true),
-				exp.RunDualCoreDivergence(false),
+		run: func(stdout, stderr io.Writer) error {
+			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
+			results, err := exp.RunDualCorePool(context.Background(), pool)
+			if err != nil {
+				return err
 			}
 			exp.PrintDualCore(stdout, results)
 			if !tel.wanted() {
@@ -322,6 +385,98 @@ func newDualcoreCmd() *command {
 			ex := sim.NewExport("dualcore")
 			ex.Results = results
 			return tel.write(ex, nil, nil)
+		},
+	}
+}
+
+func newBenchCmd() *command {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	short := fs.Bool("short", false, "run the quick CI matrix instead of the full one")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the parallel phase (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write the machine-readable baseline (JSON, schema v1) to this `file`")
+	check := fs.String("check", "", "compare this run against the recorded baseline `file`; drift exits 1")
+	wallTol := fs.Float64("wall-tolerance", 0.25, "allowed wall-clock regression vs baseline (0.25 = +25%%; 0 disables)")
+	benches := fs.String("benches", "", "override the fork benchmark list (comma-separated)")
+	warm := fs.Uint64("warm", 0, "override fork warm-up instructions")
+	measure := fs.Uint64("measure", 0, "override fork measured instructions")
+	matrices := fs.Int("matrices", 0, "override the SpMV/linesize matrix count")
+	points := fs.Int("points", 0, "override the sparsity-sweep point count")
+	rows := fs.Int("rows", 0, "override the sparsity-sweep matrix dimension")
+	return &command{
+		name:    "bench",
+		summary: "run the fixed experiment matrix sequentially and in parallel; baseline for CI",
+		flags:   fs,
+		run: func(stdout, stderr io.Writer) error {
+			if *parallel < 0 {
+				return usageError(fmt.Sprintf("invalid -parallel %d: must be >= 0", *parallel))
+			}
+			if *wallTol < 0 {
+				return usageError(fmt.Sprintf("invalid -wall-tolerance %g: must be >= 0", *wallTol))
+			}
+			// Load the baseline before spending minutes simulating.
+			var baseline *exp.BenchReport
+			if *check != "" {
+				fh, err := os.Open(*check)
+				if err != nil {
+					return err
+				}
+				baseline, err = exp.LoadBenchBaseline(fh)
+				fh.Close()
+				if err != nil {
+					return fmt.Errorf("%s: %w", *check, err)
+				}
+			}
+			plan := exp.DefaultBenchPlan()
+			if *short {
+				plan = exp.ShortBenchPlan()
+			}
+			if *benches != "" {
+				plan.ForkNames = strings.Split(*benches, ",")
+			}
+			if *warm != 0 {
+				plan.ForkParams.WarmInstructions = *warm
+			}
+			if *measure != 0 {
+				plan.ForkParams.MeasureInstructions = *measure
+			}
+			if *matrices != 0 {
+				plan.SpMVMatrices = *matrices
+				plan.LineSizeMatrices = *matrices
+			}
+			if *points != 0 {
+				plan.SweepPoints = *points
+			}
+			if *rows != 0 {
+				plan.SweepRows = *rows
+			}
+			workers := *parallel
+			if workers == 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			start := time.Now()
+			report, err := exp.RunBench(context.Background(), plan, workers, stderr)
+			if err != nil {
+				return err
+			}
+			exp.PrintBench(stdout, report)
+			if *jsonPath != "" {
+				ex := sim.NewExport("bench")
+				ex.Meta = sim.NewRunMeta(workers)
+				ex.Meta.WallMS = float64(time.Since(start).Microseconds()) / 1000
+				ex.Config = plan
+				ex.Results = report
+				if err := writeFile(*jsonPath, ex.WriteJSON); err != nil {
+					return err
+				}
+			}
+			if baseline != nil {
+				if err := exp.CheckBench(baseline, report, *wallTol); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "baseline check passed: metrics exact, wall within +%.0f%% of %s\n",
+					*wallTol*100, *check)
+			}
+			return nil
 		},
 	}
 }
@@ -336,7 +491,7 @@ func newStatsCmd() *command {
 		name:    "stats",
 		summary: "run one fork benchmark and dump all counters",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
+		run: func(stdout, _ io.Writer) error {
 			spec, err := workload.ByName(*bench)
 			if err != nil {
 				return err
@@ -377,8 +532,10 @@ func newTraceCmd() *command {
 		name:    "trace",
 		summary: "record a workload trace / replay one through the simulator",
 		flags:   fs,
-		run: func(stdout io.Writer) error {
+		run: func(stdout, _ io.Writer) error {
 			switch {
+			case *out != "" && *in != "":
+				return usageError("trace: -out and -in are mutually exclusive")
 			case *out != "":
 				return traceRecord(stdout, *bench, *out, *n)
 			case *in != "":

@@ -109,27 +109,124 @@ func TestForkJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestUsageErrors(t *testing.T) {
+// TestExitCodes audits the exit-code conventions across every
+// subcommand: usage errors (bad flags, invalid flag values, conflicting
+// flags) exit 2, runtime errors (valid invocation, failing work) exit 1.
+func TestExitCodes(t *testing.T) {
 	cases := []struct {
 		name string
 		args []string
+		want int
 	}{
-		{"no args", nil},
-		{"unknown command", []string{"bogus"}},
-		{"bad flag", []string{"fork", "-nope"}},
-		{"trace without -out/-in", []string{"trace"}},
+		// Usage errors → 2.
+		{"no args", nil, 2},
+		{"unknown command", []string{"bogus"}, 2},
+		{"fork bad flag", []string{"fork", "-nope"}, 2},
+		{"fork negative parallel", []string{"fork", "-parallel=-1", "-bench=hmmer"}, 2},
+		{"spmv bad flag", []string{"spmv", "-nope"}, 2},
+		{"spmv negative matrices", []string{"spmv", "-matrices=-1"}, 2},
+		{"spmv negative parallel", []string{"spmv", "-parallel=-2", "-matrices=1"}, 2},
+		{"linesize negative matrices", []string{"linesize", "-matrices=-5"}, 2},
+		{"sweep one point", []string{"sweep", "-points=1"}, 2},
+		{"sweep tiny rows", []string{"sweep", "-rows=4"}, 2},
+		{"dualcore bad flag", []string{"dualcore", "-nope"}, 2},
+		{"dualcore negative parallel", []string{"dualcore", "-parallel=-1"}, 2},
+		{"bench bad flag", []string{"bench", "-nope"}, 2},
+		{"bench negative parallel", []string{"bench", "-parallel=-4"}, 2},
+		{"bench negative tolerance", []string{"bench", "-wall-tolerance=-0.5"}, 2},
+		{"trace without -out/-in", []string{"trace"}, 2},
+		{"trace with both -out and -in", []string{"trace", "-out=a", "-in=b"}, 2},
+		{"stats bad flag", []string{"stats", "-nope"}, 2},
+		{"config bad flag", []string{"config", "-nope"}, 2},
+
+		// Runtime errors → 1.
+		{"stats unknown benchmark", []string{"stats", "-bench=notabench"}, 1},
+		{"fork unknown benchmark", []string{"fork", "-bench=notabench"}, 1},
+		{"trace replay missing file", []string{"trace", "-in=/nonexistent/trace.bin"}, 1},
+		{"trace record unwritable", []string{"trace", "-out=/nonexistent/dir/trace.bin", "-n=1"}, 1},
+		{"bench missing baseline", []string{"bench", "-check=/nonexistent/baseline.json"}, 1},
+
+		// Success → 0.
+		{"config ok", []string{"config"}, 0},
 	}
 	for _, c := range cases {
 		var stdout, stderr bytes.Buffer
-		if code := run(c.args, &stdout, &stderr); code != 2 {
-			t.Errorf("%s: exit code %d, want 2", c.name, code)
+		if code := run(c.args, &stdout, &stderr); code != c.want {
+			t.Errorf("%s: exit code %d, want %d (stderr: %s)", c.name, code, c.want, stderr.String())
+		}
+	}
+}
+
+// TestBenchCLI runs a tiny bench matrix through the CLI: the JSON
+// export must be a loadable baseline, and a -check against the file it
+// just wrote must pass (same machine, same run ⇒ metrics exact).
+func TestBenchCLI(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	tiny := []string{
+		"-short", "-parallel=2", "-benches=hmmer", "-warm=20000", "-measure=40000",
+		"-matrices=2", "-points=2", "-rows=64",
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"bench", "-json=" + jsonPath}, tiny...), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("bench exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"fork", "spmv", "linesize", "sweep", "dualcore", "total"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("bench summary missing %q:\n%s", want, stdout.String())
 		}
 	}
 
-	// Runtime errors (valid invocation, failing work) exit 1.
-	var stdout, stderr bytes.Buffer
-	if code := run([]string{"stats", "-bench=notabench"}, &stdout, &stderr); code != 1 {
-		t.Errorf("unknown benchmark: exit code %d, want 1", code)
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex struct {
+		SchemaVersion int    `json:"schema_version"`
+		Command       string `json:"command"`
+		Meta          struct {
+			GoVersion string `json:"go_version"`
+			Parallel  int    `json:"parallel"`
+		} `json:"meta"`
+		Results struct {
+			Parallel    int `json:"parallel"`
+			Experiments []struct {
+				Name    string            `json:"name"`
+				Metrics map[string]uint64 `json:"metrics"`
+			} `json:"experiments"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &ex); err != nil {
+		t.Fatalf("bench export is not valid JSON: %v", err)
+	}
+	if ex.SchemaVersion != 1 || ex.Command != "bench" {
+		t.Errorf("export header = %d/%q", ex.SchemaVersion, ex.Command)
+	}
+	if ex.Meta.GoVersion == "" || ex.Meta.Parallel != 2 || ex.Results.Parallel != 2 {
+		t.Errorf("export meta incomplete: %+v", ex.Meta)
+	}
+	if len(ex.Results.Experiments) != 5 {
+		t.Fatalf("export has %d experiments, want 5", len(ex.Results.Experiments))
+	}
+
+	// Re-running against the just-written baseline must pass the gate.
+	stdout.Reset()
+	stderr.Reset()
+	code = run(append([]string{"bench", "-check=" + jsonPath}, tiny...), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("bench -check exited %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "baseline check passed") {
+		t.Errorf("check did not report success:\n%s", stdout.String())
+	}
+
+	// A baseline recorded at a different worker count is rejected (exit 1).
+	stdout.Reset()
+	stderr.Reset()
+	mismatched := append([]string{"bench", "-check=" + jsonPath, "-short", "-parallel=1"}, tiny[2:]...)
+	if code = run(mismatched, &stdout, &stderr); code != 1 {
+		t.Fatalf("mismatched -parallel check exited %d, want 1", code)
 	}
 }
 

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/arch"
 	"repro/internal/coherence"
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/tlb"
 )
@@ -182,6 +184,17 @@ func RunDualCoreDivergence(overlay bool) DualCoreResult {
 		LineUpdates:   engine.Stats.Get("tlb.line_updates"),
 		Invalidations: engine.Stats.Get("coherence.invalidations"),
 	}
+}
+
+// RunDualCorePool runs both divergence mechanisms (overlay
+// read-exclusive first, then copy+shootdown — the order PrintDualCore
+// expects) as two pool jobs; each builds its own engine and MESI
+// domain.
+func RunDualCorePool(ctx context.Context, pool Pool) ([]DualCoreResult, error) {
+	return harness.Map(ctx, pool.opts("dualcore"), []bool{true, false},
+		func(_ context.Context, overlay bool, _ int) (DualCoreResult, error) {
+			return RunDualCoreDivergence(overlay), nil
+		})
 }
 
 // PrintDualCore renders the extension experiment.

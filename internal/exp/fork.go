@@ -4,12 +4,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -188,8 +190,19 @@ func RunForkBenchmark(spec workload.Spec, params ForkParams) (ForkResult, error)
 	return ForkResult{Benchmark: spec.Name, Type: spec.Type, CoW: cow, OoW: oow}, nil
 }
 
-// RunForkSuite measures every benchmark (or the named subset).
+// RunForkSuite measures every benchmark (or the named subset)
+// sequentially. It is RunForkSuitePool at Parallel 1.
 func RunForkSuite(params ForkParams, names []string) ([]ForkResult, error) {
+	return RunForkSuitePool(context.Background(), Pool{Parallel: 1}, params, names)
+}
+
+// RunForkSuitePool measures every benchmark (or the named subset),
+// fanning one job per benchmark across the pool. Each job owns a fresh
+// framework per mechanism, so results are bit-identical to the
+// sequential path at any worker count. A shared trace log cannot
+// record interleaved runs (tracks are sequential), so params.Trace
+// forces Parallel 1.
+func RunForkSuitePool(ctx context.Context, pool Pool, params ForkParams, names []string) ([]ForkResult, error) {
 	var specs []workload.Spec
 	if len(names) == 0 {
 		specs = workload.Suite()
@@ -202,15 +215,13 @@ func RunForkSuite(params ForkParams, names []string) ([]ForkResult, error) {
 			specs = append(specs, s)
 		}
 	}
-	results := make([]ForkResult, 0, len(specs))
-	for _, s := range specs {
-		r, err := RunForkBenchmark(s, params)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
+	if params.Trace != nil {
+		pool.Parallel = 1
 	}
-	return results, nil
+	return harness.Map(ctx, pool.opts("fork"), specs,
+		func(_ context.Context, s workload.Spec, _ int) (ForkResult, error) {
+			return RunForkBenchmark(s, params)
+		})
 }
 
 // RunForkCPI runs one benchmark under one mechanism with a custom config

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
+	"repro/internal/harness"
 	"repro/internal/sparse"
 )
 
@@ -25,29 +27,34 @@ type LineSizeResult struct {
 
 // RunFigure11 computes the line-size sensitivity for the suite (limit ≤ 0
 // runs all 87 matrices). Purely analytic — no simulation needed, exactly
-// as in the paper.
+// as in the paper. It is RunFigure11Pool at Parallel 1.
 func RunFigure11(limit int) []LineSizeResult {
-	ms := sparse.BuildSuite()
-	if limit > 0 && limit < len(ms) {
-		sub := make([]*sparse.Matrix, 0, limit)
-		for i := 0; i < limit; i++ {
-			sub = append(sub, ms[i*len(ms)/limit])
-		}
-		ms = sub
-	}
-	results := make([]LineSizeResult, 0, len(ms))
-	for _, m := range ms {
-		r := LineSizeResult{Matrix: m.Name, L: m.L(), Overheads: make(map[int]float64, len(LineSizes))}
-		ideal := float64(m.IdealBytes())
-		for _, sz := range LineSizes {
-			r.Overheads[sz] = float64(m.NNZBlocks(sz)*sz) / ideal
-		}
-		csr := sparse.NewCSR(m)
-		r.CSR = float64(csr.MemoryBytes()) / ideal
-		results = append(results, r)
+	results, _ := RunFigure11Pool(context.Background(), Pool{Parallel: 1}, limit)
+	return results
+}
+
+// RunFigure11Pool computes the per-matrix overheads with one job per
+// matrix fanned across the pool, then applies the same stable sort by
+// L as the sequential path (jobs are collected by index, so the
+// pre-sort order — and therefore the sorted output — is identical at
+// any worker count). The only possible error is pool cancellation.
+func RunFigure11Pool(ctx context.Context, pool Pool, limit int) ([]LineSizeResult, error) {
+	results, err := harness.Map(ctx, pool.opts("linesize"), suiteSubset(limit),
+		func(_ context.Context, m *sparse.Matrix, _ int) (LineSizeResult, error) {
+			r := LineSizeResult{Matrix: m.Name, L: m.L(), Overheads: make(map[int]float64, len(LineSizes))}
+			ideal := float64(m.IdealBytes())
+			for _, sz := range LineSizes {
+				r.Overheads[sz] = float64(m.NNZBlocks(sz)*sz) / ideal
+			}
+			csr := sparse.NewCSR(m)
+			r.CSR = float64(csr.MemoryBytes()) / ideal
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].L < results[j].L })
-	return results
+	return results, nil
 }
 
 // PrintFigure11 renders the sweep with the paper's aggregate: the mean

@@ -1,0 +1,44 @@
+package exp
+
+// Parallelism plumbing: every suite/sweep runner fans its independent
+// simulations through internal/harness. Each job builds its own
+// framework (engine, memory system, seeded RNGs), so simulated metrics
+// are bit-identical at any worker count; see DESIGN.md "Parallel
+// experiments" for the determinism argument.
+
+import (
+	"io"
+
+	"repro/internal/harness"
+	"repro/internal/sparse"
+)
+
+// Pool carries the fan-out settings every suite/sweep runner accepts:
+// how many worker goroutines to use and where to report live progress.
+type Pool struct {
+	// Parallel is the worker count (0: GOMAXPROCS, 1: sequential).
+	Parallel int
+
+	// Progress, when non-nil, receives the harness's live
+	// jobs-done/ETA line (typically stderr).
+	Progress io.Writer
+}
+
+// opts builds the harness options for one labelled sweep.
+func (p Pool) opts(label string) harness.Options {
+	return harness.Options{Parallel: p.Parallel, Progress: p.Progress, Label: label}
+}
+
+// suiteSubset returns the matrix suite, evenly subsampled to limit
+// entries (limit <= 0 keeps all 87) so the L range stays covered.
+func suiteSubset(limit int) []*sparse.Matrix {
+	ms := sparse.BuildSuite()
+	if limit > 0 && limit < len(ms) {
+		sub := make([]*sparse.Matrix, 0, limit)
+		for i := 0; i < limit; i++ {
+			sub = append(sub, ms[i*len(ms)/limit])
+		}
+		ms = sub
+	}
+	return ms
+}

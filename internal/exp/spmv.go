@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/harness"
 	"repro/internal/sparse"
 	"repro/internal/vm"
 )
@@ -164,26 +166,20 @@ func vectorsEqual(a, b []float64) bool {
 }
 
 // RunFigure10 sweeps the matrix suite (limit ≤ 0 runs all 87), sorted by
-// ascending L as in the paper's x-axis.
+// ascending L as in the paper's x-axis. It is RunFigure10Pool at
+// Parallel 1.
 func RunFigure10(limit int, withDense bool) ([]SpMVResult, error) {
-	ms := sparse.BuildSuite()
-	if limit > 0 && limit < len(ms) {
-		// Subsample evenly so the L range is still covered.
-		sub := make([]*sparse.Matrix, 0, limit)
-		for i := 0; i < limit; i++ {
-			sub = append(sub, ms[i*len(ms)/limit])
-		}
-		ms = sub
-	}
-	results := make([]SpMVResult, 0, len(ms))
-	for _, m := range ms {
-		r, err := RunSpMV(m, withDense)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
-	}
-	return results, nil
+	return RunFigure10Pool(context.Background(), Pool{Parallel: 1}, limit, withDense)
+}
+
+// RunFigure10Pool sweeps the matrix suite with one job per matrix
+// fanned across the pool; the result order (ascending L) is fixed by
+// the suite, not by completion order.
+func RunFigure10Pool(ctx context.Context, pool Pool, limit int, withDense bool) ([]SpMVResult, error) {
+	return harness.Map(ctx, pool.opts("spmv"), suiteSubset(limit),
+		func(_ context.Context, m *sparse.Matrix, _ int) (SpMVResult, error) {
+			return RunSpMV(m, withDense)
+		})
 }
 
 // PrintFigure10 renders the SpMV comparison (Figure 10) plus the paper's

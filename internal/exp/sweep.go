@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/harness"
 	"repro/internal/sparse"
 )
 
@@ -25,35 +27,46 @@ func (r SweepResult) Speedup() float64 {
 }
 
 // RunSparsitySweep measures `points` sparsity levels from dense (0 % zero
-// lines) to nearly empty, on rows×rows matrices.
+// lines) to nearly empty, on rows×rows matrices. It is
+// RunSparsitySweepPool at Parallel 1.
 func RunSparsitySweep(points, rows int) ([]SweepResult, error) {
+	return RunSparsitySweepPool(context.Background(), Pool{Parallel: 1}, points, rows)
+}
+
+// RunSparsitySweepPool measures the sparsity sweep with one job per
+// point fanned across the pool. Each job generates its own matrix from
+// a point-indexed seed, so the sweep is deterministic at any worker
+// count.
+func RunSparsitySweepPool(ctx context.Context, pool Pool, points, rows int) ([]SweepResult, error) {
 	if points < 2 {
 		return nil, fmt.Errorf("exp: need at least 2 sweep points")
 	}
-	results := make([]SweepResult, 0, points)
 	totalLines := rows * rows / sparse.ValuesPerLine
-	for i := 0; i < points; i++ {
-		frac := float64(i) / float64(points-1) // fraction of zero lines
-		nnzLines := int(float64(totalLines) * (1 - frac))
-		if nnzLines < 1 {
-			nnzLines = 1
-		}
-		// Fully dense lines (L = 8) isolate the zero-line-skipping effect;
-		// the exact generator reaches 0 % zero lines, which the clustered
-		// suite generator deliberately cannot.
-		m := sparse.ExactLines(fmt.Sprintf("sweep%02d", i), rows, rows, nnzLines, int64(900+i))
-		r, err := RunSpMV(m, true)
-		if err != nil {
-			return nil, err
-		}
-		measuredZeroFrac := 1 - float64(m.NNZBlocks(64))/float64(totalLines)
-		results = append(results, SweepResult{
-			ZeroLineFrac:  measuredZeroFrac,
-			OverlayCycles: r.OverlayCycles,
-			DenseCycles:   r.DenseCycles,
-		})
+	indices := make([]int, points)
+	for i := range indices {
+		indices[i] = i
 	}
-	return results, nil
+	return harness.Map(ctx, pool.opts("sweep"), indices,
+		func(_ context.Context, i, _ int) (SweepResult, error) {
+			frac := float64(i) / float64(points-1) // fraction of zero lines
+			nnzLines := int(float64(totalLines) * (1 - frac))
+			if nnzLines < 1 {
+				nnzLines = 1
+			}
+			// Fully dense lines (L = 8) isolate the zero-line-skipping effect;
+			// the exact generator reaches 0 % zero lines, which the clustered
+			// suite generator deliberately cannot.
+			m := sparse.ExactLines(fmt.Sprintf("sweep%02d", i), rows, rows, nnzLines, int64(900+i))
+			r, err := RunSpMV(m, true)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			return SweepResult{
+				ZeroLineFrac:  1 - float64(m.NNZBlocks(64))/float64(totalLines),
+				OverlayCycles: r.OverlayCycles,
+				DenseCycles:   r.DenseCycles,
+			}, nil
+		})
 }
 
 // PrintSweep renders the sparsity sweep (§5.2 in-text claim: overlays

@@ -1,0 +1,182 @@
+// Package harness fans independent simulation jobs across a pool of
+// worker goroutines. Every experiment in internal/exp is an
+// embarrassingly parallel set of configurations — each job builds its
+// own sim.Engine and memory system and shares no mutable state with its
+// siblings — so the whole evaluation scales with GOMAXPROCS while the
+// simulated metrics stay bit-identical to the sequential path.
+//
+// Determinism contract: results are collected by job index, never by
+// completion order, and a job error does not cancel its siblings (all
+// jobs run; Map reports the lowest-index failure). Parallel 1 therefore
+// reproduces the sequential path exactly, and any Parallel N produces
+// the same result slice as long as the jobs themselves are pure
+// functions of their inputs — which simulator jobs are, because each
+// owns its engine, memory system and seeded RNGs (see DESIGN.md
+// "Parallel experiments").
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work. A job must not share mutable
+// state with other jobs; it may observe ctx to stop early when the
+// sweep is cancelled or its per-job timeout expires.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Options configure one Run.
+type Options struct {
+	// Parallel is the number of worker goroutines. Zero or negative
+	// selects GOMAXPROCS. Parallel 1 runs the jobs one at a time in
+	// index order — the sequential path.
+	Parallel int
+
+	// Timeout bounds each job's wall clock (zero: unbounded). The
+	// job's context is cancelled at the deadline; a job that ignores
+	// its context still runs to completion and keeps its own result.
+	Timeout time.Duration
+
+	// Progress, when non-nil, receives a live "done/total, ETA" line
+	// (\r-rewritten, so point it at a terminal-ish stream like
+	// stderr) as jobs complete. Nil disables progress reporting.
+	Progress io.Writer
+
+	// Label prefixes progress lines, e.g. "fork".
+	Label string
+}
+
+// Result is the outcome of one job, tagged with its input index.
+type Result[T any] struct {
+	Index int
+	Value T
+	Err   error
+	Wall  time.Duration
+}
+
+// PanicError is a job panic converted into an error: the sweep reports
+// the crashed configuration instead of dying with it.
+type PanicError struct {
+	Value interface{} // the recovered panic value
+	Stack []byte      // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
+// Run executes the jobs on a pool of Options.Parallel workers and
+// returns one Result per job, in job order. When ctx is cancelled,
+// in-flight jobs finish (or observe their context) and every job not
+// yet started fails with ctx.Err(); Run still returns the full-length
+// slice so completed work is not lost.
+func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	for i := range results {
+		results[i].Index = i
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	prog := newProgress(opts.Progress, opts.Label, len(jobs))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+				} else {
+					results[i] = runJob(ctx, opts, i, jobs[i])
+				}
+				prog.jobDone(results[i].Err)
+			}
+		}()
+	}
+	for i := range jobs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			// Everything not yet handed to a worker is cancelled.
+			for ; i < len(jobs); i++ {
+				results[i].Err = ctx.Err()
+				prog.jobDone(results[i].Err)
+			}
+			close(indices)
+			wg.Wait()
+			prog.finish()
+			return results
+		}
+	}
+	close(indices)
+	wg.Wait()
+	prog.finish()
+	return results
+}
+
+// runJob executes one job with panic recovery and the per-job timeout.
+func runJob[T any](ctx context.Context, opts Options, index int, job Job[T]) (res Result[T]) {
+	res.Index = index
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = job(ctx)
+	return res
+}
+
+// FirstErr returns the lowest-index job error, wrapped with its index,
+// or nil if every job succeeded. Index order makes the reported error
+// independent of completion order.
+func FirstErr[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return fmt.Errorf("job %d: %w", i, results[i].Err)
+		}
+	}
+	return nil
+}
+
+// Map runs fn over every item and returns the outputs in item order.
+// A failing item does not cancel its siblings (each simulation is
+// independent, and running the full set keeps the outcome
+// deterministic); the lowest-index failure is returned after all jobs
+// finish.
+func Map[In, Out any](ctx context.Context, opts Options, items []In,
+	fn func(ctx context.Context, item In, index int) (Out, error)) ([]Out, error) {
+	jobs := make([]Job[Out], len(items))
+	for i := range items {
+		i := i
+		jobs[i] = func(ctx context.Context) (Out, error) { return fn(ctx, items[i], i) }
+	}
+	results := Run(ctx, opts, jobs)
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]Out, len(results))
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeterministicOrdering runs jobs with random per-job delays at
+// high parallelism and asserts results land at their input index, not
+// in completion order.
+func TestDeterministicOrdering(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(42))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3000)) * time.Microsecond
+	}
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			time.Sleep(delays[i])
+			return i * i, nil
+		}
+	}
+	results := Run(context.Background(), Options{Parallel: 8}, jobs)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Value != i*i || r.Err != nil {
+			t.Fatalf("result %d = {Index:%d Value:%d Err:%v}, want {%d %d nil}",
+				i, r.Index, r.Value, r.Err, i, i*i)
+		}
+		if r.Wall < delays[i] {
+			t.Errorf("result %d wall %v below the job's own %v", i, r.Wall, delays[i])
+		}
+	}
+}
+
+// TestMapOrdering covers the Map wrapper end to end.
+func TestMapOrdering(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	out, err := Map(context.Background(), Options{Parallel: 4}, items,
+		func(_ context.Context, s string, i int) (int, error) {
+			time.Sleep(time.Duration(5-i) * time.Millisecond) // finish in reverse
+			return len(s), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out = %v, want lengths in item order", out)
+		}
+	}
+}
+
+// TestPanicBecomesError asserts a crashed job is reported as that
+// job's error while its siblings complete normally.
+func TestPanicBecomesError(t *testing.T) {
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { panic("bad configuration") },
+		func(context.Context) (int, error) { return 3, nil },
+	}
+	results := Run(context.Background(), Options{Parallel: 2}, jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("sibling jobs affected by panic: %v / %v", results[0].Err, results[2].Err)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("job 1 error = %v, want *PanicError", results[1].Err)
+	}
+	if pe.Value != "bad configuration" || len(pe.Stack) == 0 {
+		t.Errorf("panic error lost its payload: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+	if !strings.Contains(pe.Error(), "bad configuration") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+	// Map surfaces the lowest-index failure.
+	if err := FirstErr(results); err == nil || !strings.Contains(err.Error(), "job 1") {
+		t.Errorf("FirstErr = %v, want job 1 panic", err)
+	}
+}
+
+// TestCancellationMidSweep cancels while the sweep is in flight: the
+// started jobs observe their context, unstarted jobs are marked with
+// ctx.Err(), and the full-length result slice still comes back.
+func TestCancellationMidSweep(t *testing.T) {
+	const n = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, n)
+	var once sync.Once
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			once.Do(cancel) // first job to run pulls the plug
+			started <- struct{}{}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return i, nil
+			}
+		}
+	}
+	results := Run(ctx, Options{Parallel: 4}, jobs)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d (completed work must not be lost)", len(results), n)
+	}
+	cancelled := 0
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no job reported cancellation")
+	}
+	if got := len(started); got >= n {
+		t.Errorf("all %d jobs started despite cancellation", got)
+	}
+}
+
+// TestPerJobTimeout bounds one slow job without touching the others.
+func TestPerJobTimeout(t *testing.T) {
+	jobs := []Job[string]{
+		func(context.Context) (string, error) { return "fast", nil },
+		func(ctx context.Context) (string, error) {
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(5 * time.Second):
+				return "slow", nil
+			}
+		},
+	}
+	results := Run(context.Background(), Options{Parallel: 2, Timeout: 20 * time.Millisecond}, jobs)
+	if results[0].Err != nil || results[0].Value != "fast" {
+		t.Fatalf("fast job: %+v", results[0])
+	}
+	if !errors.Is(results[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("slow job error = %v, want deadline exceeded", results[1].Err)
+	}
+}
+
+// TestProgressLine checks the live progress output reaches the writer
+// and ends with the final count.
+func TestProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := make([]Job[int], 5)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) { return 0, nil }
+	}
+	Run(context.Background(), Options{Parallel: 2, Progress: &buf, Label: "demo"}, jobs)
+	out := buf.String()
+	if !strings.Contains(out, "demo: 5/5 jobs") {
+		t.Errorf("progress output missing final count:\n%q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("progress output does not terminate its line")
+	}
+}
+
+// TestParallelDefaultsAndEmpty covers Parallel<=0 (GOMAXPROCS) and the
+// zero-job sweep.
+func TestParallelDefaultsAndEmpty(t *testing.T) {
+	if got := Run[int](context.Background(), Options{}, nil); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(got))
+	}
+	out, err := Map(context.Background(), Options{Parallel: -3}, []int{1, 2, 3},
+		func(_ context.Context, v, _ int) (int, error) { return v * 10, nil })
+	if err != nil || fmt.Sprint(out) != "[10 20 30]" {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// TestMapError propagates the lowest-index failure with its index.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), Options{Parallel: 4}, []int{0, 1, 2, 3},
+		func(_ context.Context, v, _ int) (int, error) {
+			if v >= 2 {
+				return 0, fmt.Errorf("point %d: %w", v, boom)
+			}
+			return v, nil
+		})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "job 2") {
+		t.Fatalf("err = %v, want lowest-index (job 2) failure", err)
+	}
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress renders a live jobs-done/total line with an ETA estimated
+// from the mean completion rate so far. A nil *progress is disabled;
+// all methods are safe to call concurrently from workers.
+type progress struct {
+	mu     sync.Mutex
+	w      io.Writer
+	label  string
+	total  int
+	done   int
+	failed int
+	start  time.Time
+}
+
+func newProgress(w io.Writer, label string, total int) *progress {
+	if w == nil {
+		return nil
+	}
+	if label != "" {
+		label += ": "
+	}
+	return &progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+// jobDone records one completion and rewrites the progress line.
+func (p *progress) jobDone(err error) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if err != nil {
+		p.failed++
+	}
+	fmt.Fprintf(p.w, "\r%s%d/%d jobs done", p.label, p.done, p.total)
+	if p.failed > 0 {
+		fmt.Fprintf(p.w, " (%d failed)", p.failed)
+	}
+	if p.done < p.total {
+		elapsed := time.Since(p.start)
+		eta := elapsed / time.Duration(p.done) * time.Duration(p.total-p.done)
+		fmt.Fprintf(p.w, ", ETA %s", eta.Round(100*time.Millisecond))
+	}
+}
+
+// finish terminates the progress line with a total-wall summary.
+func (p *progress) finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s%d/%d jobs in %s",
+		p.label, p.done, p.total, time.Since(p.start).Round(time.Millisecond))
+	if p.failed > 0 {
+		fmt.Fprintf(p.w, " (%d failed)", p.failed)
+	}
+	fmt.Fprintln(p.w)
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
+	"runtime"
 	"strconv"
 )
 
@@ -22,11 +23,33 @@ const SchemaVersion = 1
 type Export struct {
 	SchemaVersion int                         `json:"schema_version"`
 	Command       string                      `json:"command"`
+	Meta          *RunMeta                    `json:"meta,omitempty"`
 	Config        interface{}                 `json:"config,omitempty"`
 	Counters      map[string]uint64           `json:"counters,omitempty"`
 	Histograms    map[string]HistogramSummary `json:"histograms,omitempty"`
 	Series        []SeriesExport              `json:"series,omitempty"`
 	Results       interface{}                 `json:"results,omitempty"`
+}
+
+// RunMeta records the provenance of a run — what executed it and how
+// wide the harness fanned out — so exported baselines can be compared
+// with their execution environment in view. Purely additive to the
+// schema: absent fields keep old documents valid, so SchemaVersion
+// stays at 1.
+type RunMeta struct {
+	GoVersion string  `json:"go_version,omitempty"`
+	NumCPU    int     `json:"num_cpu,omitempty"`
+	Parallel  int     `json:"parallel,omitempty"` // harness worker count
+	WallMS    float64 `json:"wall_ms,omitempty"`  // host wall clock of the whole run
+}
+
+// NewRunMeta captures the current runtime environment.
+func NewRunMeta(parallel int) *RunMeta {
+	return &RunMeta{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Parallel:  parallel,
+	}
 }
 
 // HistogramSummary is the exported form of a Histogram: headline moments

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestExportMetaRoundTrip checks the additive meta block serializes
+// under schema v1 and survives a JSON round trip.
+func TestExportMetaRoundTrip(t *testing.T) {
+	ex := NewExport("bench")
+	ex.Meta = NewRunMeta(4)
+	ex.Meta.WallMS = 1234.5
+	if ex.Meta.GoVersion == "" || ex.Meta.NumCPU < 1 {
+		t.Fatalf("NewRunMeta incomplete: %+v", ex.Meta)
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version %d, want %d", back.SchemaVersion, SchemaVersion)
+	}
+	if back.Meta == nil || back.Meta.Parallel != 4 || back.Meta.WallMS != 1234.5 {
+		t.Errorf("meta lost in round trip: %+v", back.Meta)
+	}
+}
+
+// TestExportMetaOmitted keeps old-style exports byte-compatible: no
+// meta block, no "meta" key.
+func TestExportMetaOmitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewExport("fork").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"meta\"") {
+		t.Errorf("empty meta serialized:\n%s", buf.String())
+	}
+}
