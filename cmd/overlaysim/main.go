@@ -16,8 +16,10 @@
 // export), -csv=<file> (epoch series rows) and -tracelog=<file> (Chrome
 // trace_event JSON for chrome://tracing / Perfetto). The experiment
 // subcommands accept -parallel=<n> to fan independent simulations across
-// n worker goroutines (results are bit-identical at any n). Usage errors
-// exit with status 2, runtime errors with status 1.
+// n worker goroutines (results are bit-identical at any n). Every
+// subcommand accepts -cpuprofile=<file> and -memprofile=<file> to capture
+// pprof profiles of the invocation. Usage errors exit with status 2,
+// runtime errors with status 1.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,6 +50,7 @@ type command struct {
 	name    string
 	summary string
 	flags   *flag.FlagSet
+	prof    *profileFlags
 	run     func(stdout, stderr io.Writer) error
 }
 
@@ -93,13 +97,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := cmd.flags.Parse(args[1:]); err != nil {
 		return 2
 	}
-	if err := cmd.run(stdout, stderr); err != nil {
+	exitCode := func(err error) int {
 		fmt.Fprintln(stderr, "overlaysim:", err)
 		var ue usageError
 		if errors.As(err, &ue) {
 			return 2
 		}
 		return 1
+	}
+	stopProfiles, err := cmd.prof.start()
+	if err != nil {
+		return exitCode(err)
+	}
+	err = cmd.run(stdout, stderr)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		return exitCode(err)
 	}
 	return 0
 }
@@ -118,6 +133,66 @@ func commands() []*command {
 		newTraceCmd(),
 		newStatsCmd(),
 	}
+}
+
+// profileFlags is the pprof flag group shared by every subcommand.
+type profileFlags struct {
+	cpuPath string
+	memPath string
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	p := &profileFlags{}
+	fs.StringVar(&p.cpuPath, "cpuprofile", "", "write a pprof CPU profile of this invocation to `file`")
+	fs.StringVar(&p.memPath, "memprofile", "", "write a pprof heap profile taken at exit to `file`")
+	return p
+}
+
+// start opens both profile outputs (so an unwritable path fails fast, as
+// a usage error) and begins CPU profiling. The returned stop function
+// finishes the CPU profile and records the heap profile; it must be
+// called exactly once.
+func (p *profileFlags) start() (stop func() error, err error) {
+	var cpuFh, memFh *os.File
+	if p.cpuPath != "" {
+		if cpuFh, err = os.Create(p.cpuPath); err != nil {
+			return nil, usageError(fmt.Sprintf("invalid -cpuprofile: %v", err))
+		}
+	}
+	if p.memPath != "" {
+		if memFh, err = os.Create(p.memPath); err != nil {
+			if cpuFh != nil {
+				cpuFh.Close()
+			}
+			return nil, usageError(fmt.Sprintf("invalid -memprofile: %v", err))
+		}
+	}
+	if cpuFh != nil {
+		if err := pprof.StartCPUProfile(cpuFh); err != nil {
+			cpuFh.Close()
+			if memFh != nil {
+				memFh.Close()
+			}
+			return nil, err
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFh != nil {
+			pprof.StopCPUProfile()
+			firstErr = cpuFh.Close()
+		}
+		if memFh != nil {
+			runtime.GC() // flatten transient garbage so live heap dominates
+			if err := pprof.WriteHeapProfile(memFh); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := memFh.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
 }
 
 // addParallelFlag registers the shared -parallel flag. parsePool turns
@@ -206,6 +281,7 @@ func newConfigCmd() *command {
 		name:    "config",
 		summary: "print the simulated system (Table 2)",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, _ io.Writer) error {
 			system.Describe(stdout, system.Default())
 			return nil
@@ -224,6 +300,7 @@ func newForkCmd() *command {
 		name:    "fork",
 		summary: "Figures 8 and 9: overlay-on-write vs copy-on-write",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, stderr io.Writer) error {
 			pool, err := parsePool(*parallel, stderr)
 			if err != nil {
@@ -270,6 +347,7 @@ func newSpmvCmd() *command {
 		name:    "spmv",
 		summary: "Figure 10: SpMV with overlays vs CSR",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, stderr io.Writer) error {
 			pool, err := parsePool(*parallel, stderr)
 			if err != nil {
@@ -302,6 +380,7 @@ func newLinesizeCmd() *command {
 		name:    "linesize",
 		summary: "Figure 11: memory overhead vs mapping granularity",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, stderr io.Writer) error {
 			pool, err := parsePool(*parallel, stderr)
 			if err != nil {
@@ -335,6 +414,7 @@ func newSweepCmd() *command {
 		name:    "sweep",
 		summary: "§5.2 sparsity sweep: overlays vs dense",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, stderr io.Writer) error {
 			pool, err := parsePool(*parallel, stderr)
 			if err != nil {
@@ -369,6 +449,7 @@ func newDualcoreCmd() *command {
 		name:    "dualcore",
 		summary: "extension: page divergence with both processes running",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, stderr io.Writer) error {
 			pool, err := parsePool(*parallel, stderr)
 			if err != nil {
@@ -406,6 +487,7 @@ func newBenchCmd() *command {
 		name:    "bench",
 		summary: "run the fixed experiment matrix sequentially and in parallel; baseline for CI",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, stderr io.Writer) error {
 			if *parallel < 0 {
 				return usageError(fmt.Sprintf("invalid -parallel %d: must be >= 0", *parallel))
@@ -491,6 +573,7 @@ func newStatsCmd() *command {
 		name:    "stats",
 		summary: "run one fork benchmark and dump all counters",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, _ io.Writer) error {
 			spec, err := workload.ByName(*bench)
 			if err != nil {
@@ -532,6 +615,7 @@ func newTraceCmd() *command {
 		name:    "trace",
 		summary: "record a workload trace / replay one through the simulator",
 		flags:   fs,
+		prof:    addProfileFlags(fs),
 		run: func(stdout, _ io.Writer) error {
 			switch {
 			case *out != "" && *in != "":

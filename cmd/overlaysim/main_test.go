@@ -138,6 +138,9 @@ func TestExitCodes(t *testing.T) {
 		{"trace with both -out and -in", []string{"trace", "-out=a", "-in=b"}, 2},
 		{"stats bad flag", []string{"stats", "-nope"}, 2},
 		{"config bad flag", []string{"config", "-nope"}, 2},
+		{"config bad cpuprofile path", []string{"config", "-cpuprofile=/nonexistent/dir/cpu.pprof"}, 2},
+		{"config bad memprofile path", []string{"config", "-memprofile=/nonexistent/dir/mem.pprof"}, 2},
+		{"trace bad cpuprofile path", []string{"trace", "-cpuprofile=/nonexistent/dir/cpu.pprof"}, 2},
 
 		// Runtime errors → 1.
 		{"stats unknown benchmark", []string{"stats", "-bench=notabench"}, 1},
@@ -153,6 +156,30 @@ func TestExitCodes(t *testing.T) {
 		var stdout, stderr bytes.Buffer
 		if code := run(c.args, &stdout, &stderr); code != c.want {
 			t.Errorf("%s: exit code %d, want %d (stderr: %s)", c.name, code, c.want, stderr.String())
+		}
+	}
+}
+
+// TestProfileFlags exercises -cpuprofile/-memprofile on a real
+// invocation: the command must succeed and both profiles must be
+// non-empty files (pprof's gzip framing makes even an idle profile a
+// few hundred bytes).
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	args := []string{"config", "-cpuprofile=" + cpuPath, "-memprofile=" + memPath}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	for _, path := range []string{cpuPath, memPath} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
 		}
 	}
 }

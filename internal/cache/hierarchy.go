@@ -9,7 +9,7 @@ import (
 // (which resolves overlay addresses through the OMT before DRAM).
 type Backend interface {
 	// Fetch reads the line from main memory; done fires on completion.
-	Fetch(addr arch.PhysAddr, done func())
+	Fetch(addr arch.PhysAddr, done sim.Cont)
 	// WriteBack sends a dirty line to main memory (fire and forget).
 	WriteBack(addr arch.PhysAddr)
 }
@@ -47,36 +47,93 @@ func DefaultHierarchyConfig() HierarchyConfig {
 }
 
 type mshrEntry struct {
-	dones []func()
+	dones []sim.Cont
 	write bool
 }
 
 // Hierarchy ties the three levels to a backend with MSHR-style merging of
-// concurrent misses to the same line.
+// concurrent misses to the same line. Its per-access event scheduling is
+// allocation-free: completions are continuations bound once at
+// construction with the line address as the packed argument, and MSHR
+// entries are recycled through a free list.
 type Hierarchy struct {
-	engine  *sim.Engine
-	cfg     HierarchyConfig
-	L1      *Cache
-	L2      *Cache
-	L3      *Cache
-	backend Backend
-	mshr    map[arch.PhysAddr]*mshrEntry
-	pfBusy  map[arch.PhysAddr]*mshrEntry // in-flight prefetches (+ late demand waiters)
-	pf      MissObserver
+	engine   *sim.Engine
+	cfg      HierarchyConfig
+	L1       *Cache
+	L2       *Cache
+	L3       *Cache
+	backend  Backend
+	mshr     map[arch.PhysAddr]*mshrEntry
+	pfBusy   map[arch.PhysAddr]*mshrEntry // in-flight prefetches (+ late demand waiters)
+	pf       MissObserver
+	freeMSHR []*mshrEntry
+
+	completeL2Fn  sim.ArgEvent // arg = line address
+	completeL3Fn  sim.ArgEvent
+	completeMemFn sim.ArgEvent
+	fetchFn       sim.ArgEvent
+	pfDoneFn      sim.ArgEvent
+
+	l1Hits, l1Misses     *uint64
+	l2Hits, l2Misses     *uint64
+	l3Hits, l3Misses     *uint64
+	l1WBs, l2WBs, l3WBs  *uint64
+	mshrMerges, pfMerges *uint64
+	prefetches           *uint64
 }
 
 // NewHierarchy builds the hierarchy over the given backend.
 func NewHierarchy(engine *sim.Engine, cfg HierarchyConfig, backend Backend) *Hierarchy {
-	return &Hierarchy{
-		engine:  engine,
-		cfg:     cfg,
-		L1:      New("l1", cfg.L1.Size, cfg.L1.Ways, cfg.L1.NewRepl),
-		L2:      New("l2", cfg.L2.Size, cfg.L2.Ways, cfg.L2.NewRepl),
-		L3:      New("l3", cfg.L3.Size, cfg.L3.Ways, cfg.L3.NewRepl),
-		backend: backend,
-		mshr:    make(map[arch.PhysAddr]*mshrEntry),
-		pfBusy:  make(map[arch.PhysAddr]*mshrEntry),
+	h := &Hierarchy{
+		engine:     engine,
+		cfg:        cfg,
+		L1:         New("l1", cfg.L1.Size, cfg.L1.Ways, cfg.L1.NewRepl),
+		L2:         New("l2", cfg.L2.Size, cfg.L2.Ways, cfg.L2.NewRepl),
+		L3:         New("l3", cfg.L3.Size, cfg.L3.Ways, cfg.L3.NewRepl),
+		backend:    backend,
+		mshr:       make(map[arch.PhysAddr]*mshrEntry),
+		pfBusy:     make(map[arch.PhysAddr]*mshrEntry),
+		l1Hits:     engine.Stats.Counter("cache.l1.hits"),
+		l1Misses:   engine.Stats.Counter("cache.l1.misses"),
+		l2Hits:     engine.Stats.Counter("cache.l2.hits"),
+		l2Misses:   engine.Stats.Counter("cache.l2.misses"),
+		l3Hits:     engine.Stats.Counter("cache.l3.hits"),
+		l3Misses:   engine.Stats.Counter("cache.l3.misses"),
+		l1WBs:      engine.Stats.Counter("cache.l1.writebacks"),
+		l2WBs:      engine.Stats.Counter("cache.l2.writebacks"),
+		l3WBs:      engine.Stats.Counter("cache.l3.writebacks"),
+		mshrMerges: engine.Stats.Counter("cache.mshr_merges"),
+		pfMerges:   engine.Stats.Counter("cache.prefetch_demand_merges"),
+		prefetches: engine.Stats.Counter("cache.prefetches"),
 	}
+	h.completeL2Fn = func(a uint64) { h.complete(arch.PhysAddr(a), 2) }
+	h.completeL3Fn = func(a uint64) { h.complete(arch.PhysAddr(a), 3) }
+	h.completeMemFn = func(a uint64) { h.complete(arch.PhysAddr(a), 4) }
+	h.fetchFn = func(a uint64) {
+		h.backend.Fetch(arch.PhysAddr(a), sim.Bind(h.completeMemFn, a))
+	}
+	h.pfDoneFn = func(a uint64) { h.prefetchDone(arch.PhysAddr(a)) }
+	return h
+}
+
+func (h *Hierarchy) newEntry(write bool) *mshrEntry {
+	if n := len(h.freeMSHR); n > 0 {
+		e := h.freeMSHR[n-1]
+		h.freeMSHR[n-1] = nil
+		h.freeMSHR = h.freeMSHR[:n-1]
+		e.write = write
+		return e
+	}
+	return &mshrEntry{write: write}
+}
+
+func (h *Hierarchy) freeEntry(e *mshrEntry) {
+	for i := range e.dones {
+		e.dones[i] = sim.Cont{}
+	}
+	e.dones = e.dones[:0]
+	e.write = false
+	h.freeMSHR = append(h.freeMSHR, e)
 }
 
 // SetPrefetcher attaches the L2-miss observer.
@@ -85,19 +142,24 @@ func (h *Hierarchy) SetPrefetcher(pf MissObserver) { h.pf = pf }
 // Access performs a timed load (write=false) or store (write=true) of the
 // line containing addr; done fires when the access completes at L1.
 func (h *Hierarchy) Access(addr arch.PhysAddr, write bool, done func()) {
+	h.AccessCont(addr, write, sim.ContOf(done))
+}
+
+// AccessCont is the continuation form of Access.
+func (h *Hierarchy) AccessCont(addr arch.PhysAddr, write bool, done sim.Cont) {
 	addr = addr.LineAligned()
 	if h.L1.Lookup(addr, write) {
-		h.engine.Stats.Inc("cache.l1.hits")
-		if done != nil {
-			h.engine.Schedule(h.cfg.L1.HitLatency, done)
+		*h.l1Hits++
+		if done.Valid() {
+			h.engine.ScheduleCont(h.cfg.L1.HitLatency, done)
 		}
 		return
 	}
-	h.engine.Stats.Inc("cache.l1.misses")
+	*h.l1Misses++
 	if e, ok := h.mshr[addr]; ok {
-		h.engine.Stats.Inc("cache.mshr_merges")
+		*h.mshrMerges++
 		e.write = e.write || write
-		if done != nil {
+		if done.Valid() {
 			e.dones = append(e.dones, done)
 		}
 		return
@@ -107,9 +169,9 @@ func (h *Hierarchy) Access(addr arch.PhysAddr, write bool, done func()) {
 	// prefetcher — a late prefetch means the stream must run further
 	// ahead (the feedback in "feedback-directed prefetching").
 	if e, ok := h.pfBusy[addr]; ok {
-		h.engine.Stats.Inc("cache.prefetch_demand_merges")
+		*h.pfMerges++
 		e.write = e.write || write
-		if done != nil {
+		if done.Valid() {
 			e.dones = append(e.dones, done)
 		}
 		if h.pf != nil {
@@ -117,8 +179,8 @@ func (h *Hierarchy) Access(addr arch.PhysAddr, write bool, done func()) {
 		}
 		return
 	}
-	e := &mshrEntry{write: write}
-	if done != nil {
+	e := h.newEntry(write)
+	if done.Valid() {
 		e.dones = append(e.dones, done)
 	}
 	h.mshr[addr] = e
@@ -127,25 +189,23 @@ func (h *Hierarchy) Access(addr arch.PhysAddr, write bool, done func()) {
 
 func (h *Hierarchy) descend(addr arch.PhysAddr) {
 	if h.L2.Lookup(addr, false) {
-		h.engine.Stats.Inc("cache.l2.hits")
-		h.engine.Schedule(h.cfg.L1.TagLatency+h.cfg.L2.HitLatency, func() { h.complete(addr, 2) })
+		*h.l2Hits++
+		h.engine.ScheduleArg(h.cfg.L1.TagLatency+h.cfg.L2.HitLatency, h.completeL2Fn, uint64(addr))
 		return
 	}
-	h.engine.Stats.Inc("cache.l2.misses")
+	*h.l2Misses++
 	if h.pf != nil {
 		h.pf.OnMiss(addr)
 	}
 	if h.L3.Lookup(addr, false) {
-		h.engine.Stats.Inc("cache.l3.hits")
+		*h.l3Hits++
 		lat := h.cfg.L1.TagLatency + h.cfg.L2.TagLatency + h.cfg.L3.HitLatency
-		h.engine.Schedule(lat, func() { h.complete(addr, 3) })
+		h.engine.ScheduleArg(lat, h.completeL3Fn, uint64(addr))
 		return
 	}
-	h.engine.Stats.Inc("cache.l3.misses")
+	*h.l3Misses++
 	lat := h.cfg.L1.TagLatency + h.cfg.L2.TagLatency + h.cfg.L3.TagLatency
-	h.engine.Schedule(lat, func() {
-		h.backend.Fetch(addr, func() { h.complete(addr, 4) })
-	})
+	h.engine.ScheduleArg(lat, h.fetchFn, uint64(addr))
 }
 
 // complete fires when data for addr arrives from the given level (2 = L2,
@@ -162,8 +222,9 @@ func (h *Hierarchy) complete(addr arch.PhysAddr, fromLevel int) {
 	h.fill(h.L1, addr, e != nil && e.write)
 	if e != nil {
 		for _, d := range e.dones {
-			d()
+			d.Invoke()
 		}
+		h.freeEntry(e)
 	}
 }
 
@@ -175,13 +236,13 @@ func (h *Hierarchy) fill(c *Cache, addr arch.PhysAddr, dirty bool) {
 	}
 	switch c {
 	case h.L1:
-		h.engine.Stats.Inc("cache.l1.writebacks")
+		*h.l1WBs++
 		h.fill(h.L2, ev.Addr, true)
 	case h.L2:
-		h.engine.Stats.Inc("cache.l2.writebacks")
+		*h.l2WBs++
 		h.fill(h.L3, ev.Addr, true)
 	default:
-		h.engine.Stats.Inc("cache.l3.writebacks")
+		*h.l3WBs++
 		h.backend.WriteBack(ev.Addr)
 	}
 }
@@ -202,21 +263,28 @@ func (h *Hierarchy) Prefetch(addr arch.PhysAddr) bool {
 	if _, demand := h.mshr[addr]; demand {
 		return false
 	}
-	e := &mshrEntry{}
-	h.pfBusy[addr] = e
-	h.engine.Stats.Inc("cache.prefetches")
-	h.backend.Fetch(addr, func() {
-		delete(h.pfBusy, addr)
-		h.fill(h.L3, addr, false)
+	h.pfBusy[addr] = h.newEntry(false)
+	*h.prefetches++
+	h.backend.Fetch(addr, sim.Bind(h.pfDoneFn, uint64(addr)))
+	return true
+}
+
+// prefetchDone fills a completed prefetch into L3 (and, when demand
+// waiters merged onto it, upward) and releases the waiters.
+func (h *Hierarchy) prefetchDone(addr arch.PhysAddr) {
+	e := h.pfBusy[addr]
+	delete(h.pfBusy, addr)
+	h.fill(h.L3, addr, false)
+	if e != nil {
 		if len(e.dones) > 0 {
 			h.fill(h.L2, addr, false)
 			h.fill(h.L1, addr, e.write)
 			for _, d := range e.dones {
-				d()
+				d.Invoke()
 			}
 		}
-	})
-	return true
+		h.freeEntry(e)
+	}
 }
 
 // Install fills the line into L1 directly without a timed fetch (used for

@@ -15,9 +15,9 @@ type fakeBackend struct {
 	writebacks []arch.PhysAddr
 }
 
-func (b *fakeBackend) Fetch(addr arch.PhysAddr, done func()) {
+func (b *fakeBackend) Fetch(addr arch.PhysAddr, done sim.Cont) {
 	b.fetches = append(b.fetches, addr)
-	b.engine.Schedule(b.latency, done)
+	b.engine.ScheduleCont(b.latency, done)
 }
 
 func (b *fakeBackend) WriteBack(addr arch.PhysAddr) {

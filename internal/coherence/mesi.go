@@ -8,6 +8,12 @@
 // The protocol here is the substrate for the multi-core experiments
 // (both processes running after a fork); the single-core figures use the
 // plain hierarchy in internal/cache.
+//
+// Directory and per-core state are flat per-page arrays indexed by line
+// number (one pageCoh per 4 KB page holds 64 lineDir entries and a
+// cores×64 state table), so the per-access lookups that used to probe
+// two Go maps are an index computation plus one page-map probe, with the
+// last-touched page cached.
 package coherence
 
 import (
@@ -87,9 +93,21 @@ type Memory interface {
 	WriteBack(addr arch.PhysAddr)
 }
 
-type dirEntry struct {
+// lineDir is one line's directory entry.
+type lineDir struct {
 	sharers uint64 // bitmap of cores with a copy
-	owner   int    // core holding M/E, -1 if none
+	owner   int8   // core holding M/E, -1 if none
+}
+
+// pageCoh is all coherence state for one physical (or overlay) page:
+// 64 directory entries and a dense cores×64 MESI state table.
+type pageCoh struct {
+	dir [arch.LinesPerPage]lineDir
+	st  []State // index core*arch.LinesPerPage + line
+}
+
+func (pc *pageCoh) state(core, line int) State {
+	return pc.st[core*arch.LinesPerPage+line]
 }
 
 // Domain is the coherent multi-core cache domain.
@@ -97,8 +115,9 @@ type Domain struct {
 	engine *sim.Engine
 	cfg    Config
 	l1     []*cache.Cache
-	state  []map[arch.PhysAddr]State // per-core line states
-	dir    map[arch.PhysAddr]*dirEntry
+	pages  map[uint64]*pageCoh // page number (addr >> PageShift) → state
+	lastPN uint64              // last-touched page cache
+	lastPC *pageCoh
 	mem    Memory
 
 	// The directory serialises transactions per line, exactly as real
@@ -108,6 +127,14 @@ type Domain struct {
 	busy map[arch.PhysAddr][]pendingOp
 
 	listener LineListener
+
+	lineConfl  *uint64
+	l1Hits     *uint64
+	readMisses *uint64
+	writeMiss  *uint64
+	ownerWBs   *uint64
+	readExcl   *uint64
+	invals     *uint64
 }
 
 // New builds a coherent domain of cfg.Cores private L1s over mem.
@@ -116,15 +143,21 @@ func New(engine *sim.Engine, cfg Config, mem Memory) *Domain {
 		panic("coherence: cores must be 1..64")
 	}
 	d := &Domain{
-		engine: engine,
-		cfg:    cfg,
-		mem:    mem,
-		dir:    make(map[arch.PhysAddr]*dirEntry),
-		busy:   make(map[arch.PhysAddr][]pendingOp),
+		engine:     engine,
+		cfg:        cfg,
+		mem:        mem,
+		pages:      make(map[uint64]*pageCoh),
+		busy:       make(map[arch.PhysAddr][]pendingOp),
+		lineConfl:  engine.Stats.Counter("coherence.line_conflicts"),
+		l1Hits:     engine.Stats.Counter("coherence.l1_hits"),
+		readMisses: engine.Stats.Counter("coherence.read_misses"),
+		writeMiss:  engine.Stats.Counter("coherence.write_misses"),
+		ownerWBs:   engine.Stats.Counter("coherence.owner_writebacks"),
+		readExcl:   engine.Stats.Counter("coherence.overlaying_read_exclusive"),
+		invals:     engine.Stats.Counter("coherence.invalidations"),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		d.l1 = append(d.l1, cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, cache.NewLRU))
-		d.state = append(d.state, make(map[arch.PhysAddr]State))
 	}
 	return d
 }
@@ -135,18 +168,37 @@ func (d *Domain) SetListener(l LineListener) { d.listener = l }
 // Cores returns the number of cores in the domain.
 func (d *Domain) Cores() int { return d.cfg.Cores }
 
-// StateOf reports core's MESI state for the line (test/debug aid).
-func (d *Domain) StateOf(core int, addr arch.PhysAddr) State {
-	return d.state[core][addr.LineAligned()]
+// pageFor resolves the line-aligned address to its page's coherence state
+// and line index, optionally creating the page. Returns a nil page only
+// when create is false and the page was never touched.
+func (d *Domain) pageFor(addr arch.PhysAddr, create bool) (*pageCoh, int) {
+	pn := uint64(addr) >> arch.PageShift
+	line := addr.Line()
+	if d.lastPC != nil && d.lastPN == pn {
+		return d.lastPC, line
+	}
+	pc := d.pages[pn]
+	if pc == nil {
+		if !create {
+			return nil, line
+		}
+		pc = &pageCoh{st: make([]State, d.cfg.Cores*arch.LinesPerPage)}
+		for i := range pc.dir {
+			pc.dir[i].owner = -1
+		}
+		d.pages[pn] = pc
+	}
+	d.lastPN, d.lastPC = pn, pc
+	return pc, line
 }
 
-func (d *Domain) entry(addr arch.PhysAddr) *dirEntry {
-	e := d.dir[addr]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		d.dir[addr] = e
+// StateOf reports core's MESI state for the line (test/debug aid).
+func (d *Domain) StateOf(core int, addr arch.PhysAddr) State {
+	pc, line := d.pageFor(addr.LineAligned(), false)
+	if pc == nil {
+		return Invalid
 	}
-	return e
+	return pc.state(core, line)
 }
 
 // pendingOp is a directory transaction awaiting its line.
@@ -157,7 +209,7 @@ type pendingOp func(release func())
 func (d *Domain) acquire(addr arch.PhysAddr, op pendingOp) {
 	if _, inFlight := d.busy[addr]; inFlight {
 		d.busy[addr] = append(d.busy[addr], op)
-		d.engine.Stats.Inc("coherence.line_conflicts")
+		*d.lineConfl++
 		return
 	}
 	d.busy[addr] = nil
@@ -189,24 +241,25 @@ func (d *Domain) Read(core int, addr arch.PhysAddr, done func()) {
 }
 
 func (d *Domain) doRead(core int, addr arch.PhysAddr, done func()) {
-	if s := d.state[core][addr]; s != Invalid {
-		d.engine.Stats.Inc("coherence.l1_hits")
+	pc, line := d.pageFor(addr, true)
+	if s := pc.state(core, line); s != Invalid {
+		*d.l1Hits++
 		d.touch(core, addr, false)
 		d.engine.Schedule(d.cfg.L1Hit, done)
 		return
 	}
-	d.engine.Stats.Inc("coherence.read_misses")
-	e := d.entry(addr)
+	*d.readMisses++
+	e := &pc.dir[line]
 	lat := d.cfg.L1Hit + d.cfg.DirLookup
-	if e.owner >= 0 && e.owner != core {
+	if e.owner >= 0 && int(e.owner) != core {
 		// Modified or Exclusive elsewhere: fetch cache-to-cache; the owner
 		// downgrades to Shared (writing back if Modified).
-		owner := e.owner
-		if d.state[owner][addr] == Modified {
+		owner := int(e.owner)
+		if pc.state(owner, line) == Modified {
 			d.mem.WriteBack(addr)
-			d.engine.Stats.Inc("coherence.owner_writebacks")
+			*d.ownerWBs++
 		}
-		d.setState(owner, addr, Shared)
+		d.setState(pc, owner, addr, line, Shared)
 		e.owner = -1
 		e.sharers |= 1 << uint(owner)
 		lat += d.cfg.Forward
@@ -223,13 +276,13 @@ func (d *Domain) doRead(core int, addr arch.PhysAddr, done func()) {
 	d.engine.Schedule(lat, func() {
 		d.mem.Fetch(addr, func() {
 			d.install(core, addr, Exclusive)
-			e.owner = core
+			e.owner = int8(core)
 			done()
 		})
 	})
 }
 
-func (d *Domain) finishRead(core int, addr arch.PhysAddr, e *dirEntry, lat sim.Cycle, done func()) {
+func (d *Domain) finishRead(core int, addr arch.PhysAddr, e *lineDir, lat sim.Cycle, done func()) {
 	d.engine.Schedule(lat, func() {
 		d.install(core, addr, Shared)
 		e.sharers |= 1 << uint(core)
@@ -250,21 +303,22 @@ func (d *Domain) Write(core int, addr arch.PhysAddr, done func()) {
 }
 
 func (d *Domain) doWrite(core int, addr arch.PhysAddr, done func()) {
-	switch d.state[core][addr] {
+	pc, line := d.pageFor(addr, true)
+	switch pc.state(core, line) {
 	case Modified:
-		d.engine.Stats.Inc("coherence.l1_hits")
+		*d.l1Hits++
 		d.touch(core, addr, true)
 		d.engine.Schedule(d.cfg.L1Hit, done)
 		return
 	case Exclusive:
 		// Silent upgrade E→M.
-		d.engine.Stats.Inc("coherence.l1_hits")
-		d.setState(core, addr, Modified)
+		*d.l1Hits++
+		d.setState(pc, core, addr, line, Modified)
 		d.touch(core, addr, true)
 		d.engine.Schedule(d.cfg.L1Hit, done)
 		return
 	}
-	d.engine.Stats.Inc("coherence.write_misses")
+	*d.writeMiss++
 	d.readExclusive(core, addr, done)
 }
 
@@ -277,43 +331,44 @@ func (d *Domain) ReadExclusive(core int, addr arch.PhysAddr, done func()) {
 		done = func() {}
 	}
 	addr = addr.LineAligned()
-	d.engine.Stats.Inc("coherence.overlaying_read_exclusive")
+	*d.readExcl++
 	d.acquire(addr, func(release func()) {
 		d.readExclusive(core, addr, func() { release(); done() })
 	})
 }
 
 func (d *Domain) readExclusive(core int, addr arch.PhysAddr, done func()) {
-	e := d.entry(addr)
+	pc, line := d.pageFor(addr, true)
+	e := &pc.dir[line]
 	lat := d.cfg.L1Hit + d.cfg.DirLookup
 
 	// Invalidate every other copy; each sharer costs one round.
-	if e.owner >= 0 && e.owner != core {
-		if d.state[e.owner][addr] == Modified {
+	if e.owner >= 0 && int(e.owner) != core {
+		if pc.state(int(e.owner), line) == Modified {
 			d.mem.WriteBack(addr)
-			d.engine.Stats.Inc("coherence.owner_writebacks")
+			*d.ownerWBs++
 		}
-		d.setState(e.owner, addr, Invalid)
+		d.setState(pc, int(e.owner), addr, line, Invalid)
 		lat += d.cfg.Forward
 		e.owner = -1
 	}
 	invalidated := 0
 	for c := 0; c < d.cfg.Cores; c++ {
 		if c != core && e.sharers&(1<<uint(c)) != 0 {
-			d.setState(c, addr, Invalid)
+			d.setState(pc, c, addr, line, Invalid)
 			invalidated++
 		}
 	}
 	if invalidated > 0 {
 		lat += d.cfg.Invalidate // rounds overlap; one exposure
-		d.engine.Stats.Add("coherence.invalidations", uint64(invalidated))
+		*d.invals += uint64(invalidated)
 	}
 	e.sharers = 0
 
-	needData := d.state[core][addr] == Invalid
+	needData := pc.state(core, line) == Invalid
 	finish := func() {
 		d.install(core, addr, Modified)
-		e.owner = core
+		e.owner = int8(core)
 		e.sharers = 0
 		if d.listener != nil {
 			d.listener.OnReadExclusive(core, addr)
@@ -334,7 +389,8 @@ func (d *Domain) install(core int, addr arch.PhysAddr, s State) {
 	if evicted {
 		d.dropLine(core, ev.Addr, ev.Dirty)
 	}
-	d.setState(core, addr, s)
+	pc, line := d.pageFor(addr, true)
+	d.setState(pc, core, addr, line, s)
 }
 
 // touch refreshes LRU state for a hit.
@@ -347,53 +403,47 @@ func (d *Domain) dropLine(core int, addr arch.PhysAddr, dirty bool) {
 	if dirty {
 		d.mem.WriteBack(addr)
 	}
-	st := d.state[core][addr]
-	delete(d.state[core], addr)
-	e := d.dir[addr]
-	if e == nil {
+	pc, line := d.pageFor(addr, false)
+	if pc == nil {
 		return
 	}
+	pc.st[core*arch.LinesPerPage+line] = Invalid
+	e := &pc.dir[line]
 	e.sharers &^= 1 << uint(core)
-	if e.owner == core {
+	if int(e.owner) == core {
 		e.owner = -1
 	}
-	_ = st
 }
 
-// setState updates both the state map and, for Invalid, the L1 tags.
-func (d *Domain) setState(core int, addr arch.PhysAddr, s State) {
+// setState updates both the state table and, for Invalid, the L1 tags.
+func (d *Domain) setState(pc *pageCoh, core int, addr arch.PhysAddr, line int, s State) {
+	pc.st[core*arch.LinesPerPage+line] = s
 	if s == Invalid {
-		delete(d.state[core], addr)
 		d.l1[core].Invalidate(addr)
-		return
 	}
-	d.state[core][addr] = s
 }
 
 // CheckInvariants verifies the single-writer/multi-reader property for
 // every tracked line; tests call it after random operation storms.
 func (d *Domain) CheckInvariants() error {
-	lines := map[arch.PhysAddr]bool{}
-	for c := 0; c < d.cfg.Cores; c++ {
-		for a := range d.state[c] {
-			lines[a] = true
-		}
-	}
-	for a := range lines {
-		owners, sharers := 0, 0
-		for c := 0; c < d.cfg.Cores; c++ {
-			switch d.state[c][a] {
-			case Modified, Exclusive:
-				owners++
-			case Shared:
-				sharers++
+	for pn, pc := range d.pages {
+		for line := 0; line < arch.LinesPerPage; line++ {
+			owners, sharers := 0, 0
+			for c := 0; c < d.cfg.Cores; c++ {
+				switch pc.state(c, line) {
+				case Modified, Exclusive:
+					owners++
+				case Shared:
+					sharers++
+				}
 			}
-		}
-		if owners > 1 {
-			return fmt.Errorf("coherence: line %#x has %d owners", uint64(a), owners)
-		}
-		if owners == 1 && sharers > 0 {
-			return fmt.Errorf("coherence: line %#x owned and shared", uint64(a))
+			addr := arch.PhysAddr(pn<<arch.PageShift | uint64(line)<<arch.LineShift)
+			if owners > 1 {
+				return fmt.Errorf("coherence: line %#x has %d owners", uint64(addr), owners)
+			}
+			if owners == 1 && sharers > 0 {
+				return fmt.Errorf("coherence: line %#x owned and shared", uint64(addr))
+			}
 		}
 	}
 	return nil

@@ -105,7 +105,7 @@ func (f *Framework) resolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writ
 			if err != nil {
 				return writeResolution{}, err
 			}
-			f.Engine.Stats.Inc("core.simple_overlay_writes")
+			*f.simpleOvlWrites++
 			return writeResolution{kind: writeSimpleOverlay, loc: loc}, nil
 		}
 		if pte.COW || !pte.Writable {
@@ -116,16 +116,16 @@ func (f *Framework) resolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writ
 			if err != nil {
 				return writeResolution{}, err
 			}
-			f.Engine.Stats.Inc("core.overlaying_writes")
+			*f.overlayingWr++
 			return writeResolution{kind: writeOverlaying, loc: loc, srcCacheAddr: src.cacheAddr}, nil
 		}
 		// Overlay-enabled but writable and line not in overlay: plain.
-		f.Engine.Stats.Inc("core.plain_writes")
+		*f.plainWrites++
 		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
 	}
 
 	if pte.Writable {
-		f.Engine.Stats.Inc("core.plain_writes")
+		*f.plainWrites++
 		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
 	}
 	if pte.COW {
@@ -141,10 +141,10 @@ func (f *Framework) resolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writ
 		}
 		if copied {
 			res.kind = writeCOWCopy
-			f.Engine.Stats.Inc("core.cow_page_copies")
+			*f.cowCopies++
 		} else {
 			res.kind = writeCOWReuse
-			f.Engine.Stats.Inc("core.cow_reuses")
+			*f.cowReuses++
 		}
 		return res, nil
 	}
@@ -216,9 +216,7 @@ func (f *Framework) Load(pid arch.PID, va arch.VirtAddr, buf []byte) error {
 		if span > len(buf)-n {
 			span = len(buf) - n
 		}
-		for i := 0; i < span; i++ {
-			buf[n+i] = f.Mem.Read(loc.ppn, loc.off+a.LineOffset()+uint64(i))
-		}
+		f.Mem.ReadSpan(loc.ppn, loc.off+a.LineOffset(), buf[n:n+span])
 		n += span
 	}
 	return nil
@@ -245,9 +243,7 @@ func (f *Framework) Store(pid arch.PID, va arch.VirtAddr, data []byte) error {
 		if res.loc.ppn == mem.ZeroPPN {
 			return fmt.Errorf("core: write resolved to the zero page at %#x", uint64(a))
 		}
-		for i := 0; i < span; i++ {
-			f.Mem.Write(res.loc.ppn, res.loc.off+a.LineOffset()+uint64(i), data[n+i])
-		}
+		f.Mem.WriteSpan(res.loc.ppn, res.loc.off+a.LineOffset(), data[n:n+span])
 		n += span
 	}
 	return nil

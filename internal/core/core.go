@@ -89,6 +89,52 @@ type Framework struct {
 	accessLat *sim.Histogram
 
 	ports []*Port
+
+	// In-flight timed port accesses live in a slab indexed by the packed
+	// argument of the pre-bound continuations below, so the per-access
+	// path of Read/Write schedules zero closures.
+	acc     []portAccess
+	accFree []uint32
+
+	readFireFn  sim.ArgEvent // translation done → issue hierarchy access
+	writeFireFn sim.ArgEvent // translation done → resolve + issue store
+	accDoneFn   sim.ArgEvent // hierarchy access done → observe + complete
+
+	// In-flight overlay miss resolutions (backend side), same scheme.
+	ovl        []ovlReq
+	ovlFree    []uint32
+	ovlFetchFn sim.ArgEvent
+	ovlWBFn    sim.ArgEvent
+
+	ovlZeroFills *uint64
+	ovlStaleWBs  *uint64
+	readExcl     *uint64
+
+	// Write-kind counters bumped by resolveWrite on every store.
+	simpleOvlWrites *uint64
+	overlayingWr    *uint64
+	plainWrites     *uint64
+	cowCopies       *uint64
+	cowReuses       *uint64
+}
+
+// portAccess is one in-flight timed access between translation and
+// hierarchy completion.
+type portAccess struct {
+	start  sim.Cycle
+	done   sim.Cont
+	target arch.PhysAddr
+	port   *Port // write path only
+	pid    arch.PID
+	va     arch.VirtAddr
+}
+
+// ovlReq is one overlay fetch/write-back waiting out its OMT-cache
+// latency before being located in the Overlay Memory Store.
+type ovlReq struct {
+	entry *omt.Entry
+	line  int
+	done  sim.Cont
 }
 
 // New assembles a framework. It panics only on programmer error; resource
@@ -115,7 +161,86 @@ func New(cfg Config) (*Framework, error) {
 	f.Prefetch = prefetch.New(cfg.Prefetch, f.Hier, &engine.Stats)
 	f.Hier.SetPrefetcher((*missDispatcher)(f))
 	f.accessLat = engine.Stats.Histogram("core.access_cycles")
+	f.ovlZeroFills = engine.Stats.Counter("core.overlay_zero_fills")
+	f.ovlStaleWBs = engine.Stats.Counter("core.overlay_stale_writebacks")
+	f.readExcl = engine.Stats.Counter("core.overlaying_read_exclusive")
+	f.simpleOvlWrites = engine.Stats.Counter("core.simple_overlay_writes")
+	f.overlayingWr = engine.Stats.Counter("core.overlaying_writes")
+	f.plainWrites = engine.Stats.Counter("core.plain_writes")
+	f.cowCopies = engine.Stats.Counter("core.cow_page_copies")
+	f.cowReuses = engine.Stats.Counter("core.cow_reuses")
+	f.readFireFn = func(idx uint64) {
+		target := f.acc[idx].target
+		f.Hier.AccessCont(target, false, sim.Bind(f.accDoneFn, idx))
+	}
+	f.writeFireFn = func(idx uint64) {
+		a := &f.acc[idx]
+		a.port.writeAfterTranslate(a.pid, a.va, sim.Bind(f.accDoneFn, idx))
+	}
+	f.accDoneFn = func(idx uint64) {
+		a := f.acc[idx] // copy: done may start accesses that reuse the slot
+		f.freeAccess(uint32(idx))
+		f.accessLat.Observe(uint64(f.Engine.Now() - a.start))
+		a.done.Invoke()
+	}
+	f.ovlFetchFn = func(idx uint64) {
+		r := f.ovl[idx]
+		f.freeOvl(uint32(idx))
+		target, ok := f.locateOverlayLine(r.entry, r.line)
+		if !ok {
+			// No backing slot: the line's data never left the caches (or
+			// a prefetcher ran past the overlay). Zero-fill, no DRAM trip.
+			*f.ovlZeroFills++
+			r.done.Invoke()
+			return
+		}
+		f.DRAM.ReadCont(target, r.done)
+	}
+	f.ovlWBFn = func(idx uint64) {
+		r := f.ovl[idx]
+		f.freeOvl(uint32(idx))
+		target, ok := f.locateOverlayLine(r.entry, r.line)
+		if !ok {
+			// Promotion discarded the overlay while the dirty line was in
+			// flight; drop the write-back.
+			*f.ovlStaleWBs++
+			return
+		}
+		f.DRAM.Write(target, nil)
+	}
 	return f, nil
+}
+
+// newAccess claims a slab slot for an in-flight port access. The returned
+// pointer is valid only until the next newAccess call (the slab may grow).
+func (f *Framework) newAccess() (uint32, *portAccess) {
+	if n := len(f.accFree); n > 0 {
+		idx := f.accFree[n-1]
+		f.accFree = f.accFree[:n-1]
+		return idx, &f.acc[idx]
+	}
+	f.acc = append(f.acc, portAccess{})
+	return uint32(len(f.acc) - 1), &f.acc[len(f.acc)-1]
+}
+
+func (f *Framework) freeAccess(idx uint32) {
+	f.acc[idx] = portAccess{}
+	f.accFree = append(f.accFree, idx)
+}
+
+func (f *Framework) newOvl() (uint32, *ovlReq) {
+	if n := len(f.ovlFree); n > 0 {
+		idx := f.ovlFree[n-1]
+		f.ovlFree = f.ovlFree[:n-1]
+		return idx, &f.ovl[idx]
+	}
+	f.ovl = append(f.ovl, ovlReq{})
+	return uint32(len(f.ovl) - 1), &f.ovl[len(f.ovl)-1]
+}
+
+func (f *Framework) freeOvl(idx uint32) {
+	f.ovl[idx] = ovlReq{}
+	f.ovlFree = append(f.ovlFree, idx)
 }
 
 // SetTrace enables structured event tracing for the framework: the
@@ -299,26 +424,17 @@ func (w *walker) Walk(pid arch.PID, vpn arch.VPN) (tlb.Entry, bool) {
 // Memory Store's segment metadata.
 type backend Framework
 
-func (b *backend) Fetch(addr arch.PhysAddr, done func()) {
+func (b *backend) Fetch(addr arch.PhysAddr, done sim.Cont) {
 	f := (*Framework)(b)
 	if !addr.IsOverlay() {
-		f.DRAM.Read(addr, done)
+		f.DRAM.ReadCont(addr, done)
 		return
 	}
 	opn := arch.OverlayPageOf(addr)
-	line := addr.Line()
 	entry, lat := f.OMTCache.Lookup(opn)
-	f.Engine.Schedule(lat, func() {
-		target, ok := f.locateOverlayLine(entry, line)
-		if !ok {
-			// No backing slot: the line's data never left the caches (or
-			// a prefetcher ran past the overlay). Zero-fill, no DRAM trip.
-			f.Engine.Stats.Inc("core.overlay_zero_fills")
-			done()
-			return
-		}
-		f.DRAM.Read(target, done)
-	})
+	idx, r := f.newOvl()
+	r.entry, r.line, r.done = entry, addr.Line(), done
+	f.Engine.ScheduleArg(lat, f.ovlFetchFn, uint64(idx))
 }
 
 func (b *backend) WriteBack(addr arch.PhysAddr) {
@@ -328,18 +444,10 @@ func (b *backend) WriteBack(addr arch.PhysAddr) {
 		return
 	}
 	opn := arch.OverlayPageOf(addr)
-	line := addr.Line()
 	entry, lat := f.OMTCache.Lookup(opn)
-	f.Engine.Schedule(lat, func() {
-		target, ok := f.locateOverlayLine(entry, line)
-		if !ok {
-			// Promotion discarded the overlay while the dirty line was in
-			// flight; drop the write-back.
-			f.Engine.Stats.Inc("core.overlay_stale_writebacks")
-			return
-		}
-		f.DRAM.Write(target, nil)
-	})
+	idx, r := f.newOvl()
+	r.entry, r.line, r.done = entry, addr.Line(), sim.Cont{}
+	f.Engine.ScheduleArg(lat, f.ovlWBFn, uint64(idx))
 }
 
 // locateOverlayLine resolves (entry, line) to a main-memory address,
@@ -361,7 +469,7 @@ func (f *Framework) broadcastLineUpdate(pid arch.PID, vpn arch.VPN, line int, in
 	for _, p := range f.ports {
 		p.TLB.UpdateLine(pid, vpn, line, inOverlay)
 	}
-	f.Engine.Stats.Inc("core.overlaying_read_exclusive")
+	*f.readExcl++
 	if tr := f.Engine.Trace; tr != nil {
 		in := uint64(0)
 		if inOverlay {

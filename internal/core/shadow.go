@@ -39,9 +39,7 @@ func (f *Framework) ShadowStore(pid arch.PID, va arch.VirtAddr, data []byte) err
 		if span > len(data)-n {
 			span = len(data) - n
 		}
-		for i := 0; i < span; i++ {
-			f.Mem.Write(loc.ppn, loc.off+a.LineOffset()+uint64(i), data[n+i])
-		}
+		f.Mem.WriteSpan(loc.ppn, loc.off+a.LineOffset(), data[n:n+span])
 		n += span
 	}
 	f.Engine.Stats.Inc("core.shadow_stores")
@@ -75,9 +73,7 @@ func (f *Framework) ShadowLoad(pid arch.PID, va arch.VirtAddr, buf []byte) error
 			if err != nil {
 				return err
 			}
-			for i := 0; i < span; i++ {
-				buf[n+i] = f.Mem.Read(loc.ppn, loc.off+a.LineOffset()+uint64(i))
-			}
+			f.Mem.ReadSpan(loc.ppn, loc.off+a.LineOffset(), buf[n:n+span])
 		} else {
 			for i := 0; i < span; i++ {
 				buf[n+i] = 0

@@ -12,13 +12,22 @@ import (
 // overlaying, conventional COW), and the read path. Structural state
 // changes are shared with the functional path via resolveWrite, so the
 // timed simulation and functional contents can never diverge.
+//
+// Per-access state (issue cycle, completion continuation, resolved
+// target) lives in the framework's portAccess slab; the translation and
+// completion events are pre-bound ArgEvent continuations carrying the
+// slab index, so issuing an access allocates nothing.
 
 // Read performs a timed load of the line containing va; done fires when
 // the data reaches the core. It panics on a true fault (unmapped page) —
 // workloads are expected to map their footprints.
 func (p *Port) Read(pid arch.PID, va arch.VirtAddr, done func()) {
+	p.ReadCont(pid, va, sim.ContOf(done))
+}
+
+// ReadCont is the continuation form of Read.
+func (p *Port) ReadCont(pid arch.PID, va arch.VirtAddr, done sim.Cont) {
 	f := p.f
-	done = f.observeAccess(done)
 	entry, lat, ok := p.TLB.Lookup(pid, va.Page())
 	if !ok {
 		panic(fmt.Sprintf("core: timed read fault at pid %d va %#x", pid, uint64(va)))
@@ -30,7 +39,9 @@ func (p *Port) Read(pid arch.PID, va arch.VirtAddr, done func()) {
 	} else {
 		target = arch.PhysAddrOf(entry.PPN, uint64(line)<<arch.LineShift)
 	}
-	f.Engine.Schedule(lat, func() { f.Hier.Access(target, false, done) })
+	idx, a := f.newAccess()
+	a.start, a.done, a.target = f.Engine.Now(), done, target
+	f.Engine.ScheduleArg(lat, f.readFireFn, uint64(idx))
 }
 
 // ReadOverlay performs a timed load of the overlay line containing va
@@ -40,8 +51,12 @@ func (p *Port) Read(pid arch.PID, va arch.VirtAddr, done func()) {
 // cache's hit latency instead of a TLB translation. The line must be in
 // the page's overlay.
 func (p *Port) ReadOverlay(pid arch.PID, va arch.VirtAddr, done func()) {
+	p.ReadOverlayCont(pid, va, sim.ContOf(done))
+}
+
+// ReadOverlayCont is the continuation form of ReadOverlay.
+func (p *Port) ReadOverlayCont(pid arch.PID, va arch.VirtAddr, done sim.Cont) {
 	f := p.f
-	done = f.observeAccess(done)
 	opn := arch.OverlayPage(pid, va.Page())
 	if !f.OMTTable.Get(opn).OBits.Has(va.Line()) {
 		panic(fmt.Sprintf("core: ReadOverlay of line outside overlay at pid %d va %#x", pid, uint64(va)))
@@ -59,23 +74,31 @@ func (p *Port) ReadOverlay(pid arch.PID, va arch.VirtAddr, done func()) {
 	// entry ahead of the walk.
 	p.extendOverlayPrefetch(opn, va.Line())
 	f.primeNextOMTEntry(opn)
-	f.Engine.Schedule(lat, func() { f.Hier.Access(target, false, done) })
+	idx, a := f.newAccess()
+	a.start, a.done, a.target = f.Engine.Now(), done, target
+	f.Engine.ScheduleArg(lat, f.readFireFn, uint64(idx))
 }
 
 // Write performs a timed store to the line containing va; done fires when
 // the store completes at the L1 (after any overlaying-write remap or COW
 // resolution on its critical path).
 func (p *Port) Write(pid arch.PID, va arch.VirtAddr, done func()) {
+	p.WriteCont(pid, va, sim.ContOf(done))
+}
+
+// WriteCont is the continuation form of Write.
+func (p *Port) WriteCont(pid arch.PID, va arch.VirtAddr, done sim.Cont) {
 	f := p.f
-	done = f.observeAccess(done)
 	_, lat, ok := p.TLB.Lookup(pid, va.Page())
 	if !ok {
 		panic(fmt.Sprintf("core: timed write fault at pid %d va %#x", pid, uint64(va)))
 	}
-	f.Engine.Schedule(lat, func() { p.writeAfterTranslate(pid, va, done) })
+	idx, a := f.newAccess()
+	a.start, a.done, a.port, a.pid, a.va = f.Engine.Now(), done, p, pid, va
+	f.Engine.ScheduleArg(lat, f.writeFireFn, uint64(idx))
 }
 
-func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done func()) {
+func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done sim.Cont) {
 	f := p.f
 	proc, ok := f.VM.Process(pid)
 	if !ok {
@@ -88,16 +111,18 @@ func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done func()) 
 	}
 	switch res.kind {
 	case writePlain, writeSimpleOverlay:
-		f.Hier.Access(res.loc.cacheAddr, true, done)
+		f.Hier.AccessCont(res.loc.cacheAddr, true, done)
 
 	case writeOverlaying:
 		// §4.3.3: fetch the source line (read-for-ownership), retag the
 		// block into the Overlay Address Space, pay the coherence round,
 		// then the store completes. The fetch is the application's own
-		// write-allocate miss; the remap adds OverlayRemapLatency.
+		// write-allocate miss; the remap adds OverlayRemapLatency. The
+		// remaining write flavours are off the hot path, so plain closures
+		// are fine here.
 		f.Hier.Access(res.srcCacheAddr, true, func() {
 			f.Hier.Retag(res.srcCacheAddr, res.loc.cacheAddr)
-			f.Engine.Schedule(f.Config.OverlayRemapLatency, done)
+			f.Engine.ScheduleCont(f.Config.OverlayRemapLatency, done)
 		})
 
 	case writeCOWCopy:
@@ -118,7 +143,7 @@ func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done func()) 
 					if remaining == 0 {
 						cost := p.shootdownAll(pid, vpn)
 						f.Engine.Schedule(cost, func() {
-							f.Hier.Access(res.loc.cacheAddr, true, done)
+							f.Hier.AccessCont(res.loc.cacheAddr, true, done)
 						})
 					}
 				})
@@ -131,25 +156,12 @@ func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done func()) 
 		f.Engine.Schedule(f.Config.COWTrapLatency, func() {
 			cost := p.shootdownAll(pid, vpn)
 			f.Engine.Schedule(cost, func() {
-				f.Hier.Access(res.loc.cacheAddr, true, done)
+				f.Hier.AccessCont(res.loc.cacheAddr, true, done)
 			})
 		})
 
 	default:
 		panic("core: unknown write kind")
-	}
-}
-
-// observeAccess wraps a port operation's completion callback so the
-// end-to-end latency (issue to completion, in cycles) lands in the
-// core.access_cycles histogram.
-func (f *Framework) observeAccess(done func()) func() {
-	start := f.Engine.Now()
-	return func() {
-		f.accessLat.Observe(uint64(f.Engine.Now() - start))
-		if done != nil {
-			done()
-		}
 	}
 }
 

@@ -46,20 +46,28 @@ type Trace interface {
 // WindowSize is the instruction-window capacity (Table 2).
 const WindowSize = 64
 
+// ringMask extracts a ring index from a completion argument's low bits.
+const ringMask = WindowSize - 1
+
 type slot struct {
 	count       int  // instructions this slot retires as
 	done        bool // completed execution
 	outstanding bool // memory op in flight
 }
 
-// Core is one simulated CPU.
+// Core is one simulated CPU. The instruction window is a fixed ring of
+// slot values addressed by dispatch order; completion events are
+// pre-bound continuations carrying the ring index, so the steady-state
+// dispatch/retire loop performs no allocations.
 type Core struct {
 	engine *sim.Engine
 	port   *core.Port
 	pid    arch.PID
 	trace  Trace
 
-	window    []*slot
+	window    [WindowSize]slot
+	head      uint64 // dispatch number of the window's oldest slot
+	tail      uint64 // dispatch number of the next slot to fill
 	retired   uint64
 	limit     uint64
 	started   sim.Cycle
@@ -68,13 +76,45 @@ type Core struct {
 	exhausted bool
 	onDone    func()
 	ticking   bool
+
+	tickCont      sim.Cont     // clears ticking, then ticks
+	computeDoneFn sim.ArgEvent // arg = dispatch number
+	memDoneFn     sim.ArgEvent // arg = dispatch number
 }
 
 // New creates a core executing trace on behalf of process pid through the
 // given memory port.
 func New(engine *sim.Engine, port *core.Port, pid arch.PID, trace Trace) *Core {
-	return &Core{engine: engine, port: port, pid: pid, trace: trace}
+	c := &Core{engine: engine, port: port, pid: pid, trace: trace}
+	c.tickCont = sim.ContOf(func() {
+		c.ticking = false
+		c.tick()
+	})
+	// Completions carry the instruction's dispatch number, which is
+	// monotonic across runs (a limit-based finish can leave completions in
+	// flight that drain during the next run, exactly as the window's
+	// leftover contents carry over). A ring slot is only reused once its
+	// instruction retires, and retiring requires the completion to have
+	// fired, so the dispatch number's ring index always names the right
+	// in-flight slot.
+	c.computeDoneFn = func(arg uint64) {
+		c.window[arg&ringMask].done = true
+		c.scheduleTick(0)
+	}
+	c.memDoneFn = func(arg uint64) {
+		s := &c.window[arg&ringMask]
+		s.outstanding = false
+		s.done = true
+		c.scheduleTick(0)
+	}
+	return c
 }
+
+// size returns the window occupancy.
+func (c *Core) size() int { return int(c.tail - c.head) }
+
+// headSlot returns the oldest dispatched slot.
+func (c *Core) headSlot() *slot { return &c.window[c.head%WindowSize] }
 
 // Run starts execution and stops once `limit` instructions have retired
 // (or the trace ends). onDone fires at completion. Drive the engine
@@ -114,10 +154,7 @@ func (c *Core) scheduleTick(delay sim.Cycle) {
 		return
 	}
 	c.ticking = true
-	c.engine.Schedule(delay, func() {
-		c.ticking = false
-		c.tick()
-	})
+	c.engine.ScheduleCont(delay, c.tickCont)
 }
 
 func (c *Core) tick() {
@@ -126,9 +163,9 @@ func (c *Core) tick() {
 	}
 	// Retire from the head, in order; one slot per cycle (a compute burst
 	// retires as a unit — it spent its N cycles executing).
-	if len(c.window) > 0 && c.window[0].done {
-		c.retired += uint64(c.window[0].count)
-		c.window = c.window[1:]
+	if c.size() > 0 && c.headSlot().done {
+		c.retired += uint64(c.headSlot().count)
+		c.head++
 	}
 	if c.limitReached() {
 		c.finish()
@@ -136,7 +173,7 @@ func (c *Core) tick() {
 	}
 
 	// Dispatch one instruction per cycle into the window.
-	if len(c.window) < WindowSize && !c.exhausted {
+	if c.size() < WindowSize && !c.exhausted {
 		instr, ok := c.trace.Next()
 		if !ok {
 			c.exhausted = true
@@ -144,7 +181,7 @@ func (c *Core) tick() {
 			c.dispatch(instr)
 		}
 	}
-	if c.exhausted && len(c.window) == 0 {
+	if c.exhausted && c.size() == 0 {
 		c.finish()
 		return
 	}
@@ -152,8 +189,8 @@ func (c *Core) tick() {
 	// Keep ticking while forward progress is possible next cycle; when the
 	// core is stalled (window full or drained, head incomplete), sleep
 	// until a completion callback re-arms the tick.
-	canDispatch := len(c.window) < WindowSize && !c.exhausted
-	canRetire := len(c.window) > 0 && c.window[0].done
+	canDispatch := c.size() < WindowSize && !c.exhausted
+	canRetire := c.size() > 0 && c.headSlot().done
 	if canDispatch || canRetire {
 		c.scheduleTick(1)
 	}
@@ -174,8 +211,11 @@ func (c *Core) finish() {
 }
 
 func (c *Core) dispatch(instr Instr) {
-	s := &slot{count: 1}
-	c.window = append(c.window, s)
+	idx := c.tail % WindowSize
+	s := &c.window[idx]
+	*s = slot{count: 1}
+	arg := c.tail
+	c.tail++
 	switch instr.Kind {
 	case Compute:
 		n := instr.N
@@ -183,28 +223,16 @@ func (c *Core) dispatch(instr Instr) {
 			n = 1
 		}
 		s.count = n
-		c.engine.Schedule(sim.Cycle(n), func() { s.done = true; c.scheduleTick(0) })
+		c.engine.ScheduleArg(sim.Cycle(n), c.computeDoneFn, arg)
 	case Load:
 		s.outstanding = true
-		c.port.Read(c.pid, instr.VA, func() {
-			s.outstanding = false
-			s.done = true
-			c.scheduleTick(0)
-		})
+		c.port.ReadCont(c.pid, instr.VA, sim.Bind(c.memDoneFn, arg))
 	case LoadOverlay:
 		s.outstanding = true
-		c.port.ReadOverlay(c.pid, instr.VA, func() {
-			s.outstanding = false
-			s.done = true
-			c.scheduleTick(0)
-		})
+		c.port.ReadOverlayCont(c.pid, instr.VA, sim.Bind(c.memDoneFn, arg))
 	case Store:
 		s.outstanding = true
-		c.port.Write(c.pid, instr.VA, func() {
-			s.outstanding = false
-			s.done = true
-			c.scheduleTick(0)
-		})
+		c.port.WriteCont(c.pid, instr.VA, sim.Bind(c.memDoneFn, arg))
 	default:
 		panic("cpu: unknown instruction kind")
 	}

@@ -9,6 +9,12 @@
 // issued them and the data burst finishes, writes complete immediately at
 // acceptance (they are write-backs, off the critical path) and drain in
 // the background.
+//
+// The controller is allocation-free in steady state: request structs are
+// recycled through a free list, the bank/row decode is computed once at
+// enqueue, the write-buffer membership check uses an open-addressing
+// table instead of a Go map, and the scheduler's self-wakeup events are
+// continuations bound once at construction.
 package dram
 
 import (
@@ -49,9 +55,11 @@ func DefaultConfig() Config {
 
 type request struct {
 	addr    arch.PhysAddr // line-aligned main-memory address
+	bank    int           // decoded once at enqueue
+	row     int64
 	write   bool
 	arrival sim.Cycle
-	done    func()
+	done    sim.Cont
 }
 
 type bank struct {
@@ -67,13 +75,25 @@ type Controller struct {
 	banks     []bank
 	readQ     []*request
 	writeBuf  []*request
-	pendingWr map[arch.PhysAddr]int // line addr → count in write buffer
+	pendingWr wrTable // line number → count in write buffer
+	freeReq   []*request
 	busFreeAt sim.Cycle
 	draining  bool
 	kicked    bool // an issue event is already scheduled for this cycle
 
+	kickCont  sim.Cont // clears kicked, then issues
+	issueCont sim.Cont // scheduler self-wakeup
+
 	queueLat *sim.Histogram // read queueing delay: arrival → scheduler pick
 	readLat  *sim.Histogram // read service latency: arrival → data burst end
+
+	reads      *uint64
+	writes     *uint64
+	wbForwards *uint64
+	wbDrains   *uint64
+	rowHits    *uint64
+	rowClosed  *uint64
+	rowConfl   *uint64
 }
 
 // New creates a controller attached to the engine.
@@ -85,14 +105,42 @@ func New(engine *sim.Engine, cfg Config) *Controller {
 	for i := range banks {
 		banks[i].openRow = -1
 	}
-	return &Controller{
-		cfg:       cfg,
-		engine:    engine,
-		banks:     banks,
-		pendingWr: make(map[arch.PhysAddr]int),
-		queueLat:  engine.Stats.Histogram("dram.read_queue_cycles"),
-		readLat:   engine.Stats.Histogram("dram.read_cycles"),
+	c := &Controller{
+		cfg:        cfg,
+		engine:     engine,
+		banks:      banks,
+		queueLat:   engine.Stats.Histogram("dram.read_queue_cycles"),
+		readLat:    engine.Stats.Histogram("dram.read_cycles"),
+		reads:      engine.Stats.Counter("dram.reads"),
+		writes:     engine.Stats.Counter("dram.writes"),
+		wbForwards: engine.Stats.Counter("dram.write_buffer_forwards"),
+		wbDrains:   engine.Stats.Counter("dram.write_drains"),
+		rowHits:    engine.Stats.Counter("dram.row_hits"),
+		rowClosed:  engine.Stats.Counter("dram.row_closed"),
+		rowConfl:   engine.Stats.Counter("dram.row_conflicts"),
 	}
+	c.pendingWr.init(cfg.WriteBufCap)
+	c.kickCont = sim.ContOf(func() {
+		c.kicked = false
+		c.issue()
+	})
+	c.issueCont = sim.ContOf(c.issue)
+	return c
+}
+
+func (c *Controller) newRequest() *request {
+	if n := len(c.freeReq); n > 0 {
+		r := c.freeReq[n-1]
+		c.freeReq[n-1] = nil
+		c.freeReq = c.freeReq[:n-1]
+		return r
+	}
+	return new(request)
+}
+
+func (c *Controller) freeRequest(r *request) {
+	r.done = sim.Cont{}
+	c.freeReq = append(c.freeReq, r)
 }
 
 // linesPerRow returns how many cache lines one row buffer holds.
@@ -110,18 +158,26 @@ func (c *Controller) mapAddr(addr arch.PhysAddr) (bankIdx int, row int64) {
 
 // Read enqueues a line read; done fires when the data burst completes.
 func (c *Controller) Read(addr arch.PhysAddr, done func()) {
+	c.ReadCont(addr, sim.ContOf(done))
+}
+
+// ReadCont is the continuation form of Read.
+func (c *Controller) ReadCont(addr arch.PhysAddr, done sim.Cont) {
 	addr = addr.LineAligned()
-	c.engine.Stats.Inc("dram.reads")
-	if c.pendingWr[addr] > 0 {
+	*c.reads++
+	if c.pendingWr.get(uint64(addr)>>arch.LineShift) > 0 {
 		// Forward from the write buffer: the youngest matching write holds
 		// the data, no DRAM access needed.
-		c.engine.Stats.Inc("dram.write_buffer_forwards")
+		*c.wbForwards++
 		c.queueLat.Observe(0)
 		c.readLat.Observe(uint64(c.cfg.WBForwardLat))
-		c.engine.Schedule(c.cfg.WBForwardLat, done)
+		c.engine.ScheduleCont(c.cfg.WBForwardLat, done)
 		return
 	}
-	c.readQ = append(c.readQ, &request{addr: addr, arrival: c.engine.Now(), done: done})
+	r := c.newRequest()
+	r.addr, r.write, r.arrival, r.done = addr, false, c.engine.Now(), done
+	r.bank, r.row = c.mapAddr(addr)
+	c.readQ = append(c.readQ, r)
 	c.kick()
 }
 
@@ -130,12 +186,15 @@ func (c *Controller) Read(addr arch.PhysAddr, done func()) {
 // drain-when-full.
 func (c *Controller) Write(addr arch.PhysAddr, done func()) {
 	addr = addr.LineAligned()
-	c.engine.Stats.Inc("dram.writes")
-	c.writeBuf = append(c.writeBuf, &request{addr: addr, write: true, arrival: c.engine.Now()})
-	c.pendingWr[addr]++
+	*c.writes++
+	r := c.newRequest()
+	r.addr, r.write, r.arrival, r.done = addr, true, c.engine.Now(), sim.Cont{}
+	r.bank, r.row = c.mapAddr(addr)
+	c.writeBuf = append(c.writeBuf, r)
+	c.pendingWr.inc(uint64(addr) >> arch.LineShift)
 	if len(c.writeBuf) >= c.cfg.WriteBufCap {
 		if !c.draining {
-			c.engine.Stats.Inc("dram.write_drains")
+			*c.wbDrains++
 		}
 		c.draining = true
 	}
@@ -153,10 +212,7 @@ func (c *Controller) kick() {
 		return
 	}
 	c.kicked = true
-	c.engine.Schedule(0, func() {
-		c.kicked = false
-		c.issue()
-	})
+	c.engine.ScheduleCont(0, c.kickCont)
 }
 
 // pool selects which queue the scheduler serves this round: reads unless
@@ -184,79 +240,84 @@ func (c *Controller) issue() {
 	}
 	now := c.engine.Now()
 	best := -1
+	bestHit := false
 	for i, r := range pool {
-		bankIdx, row := c.mapAddr(r.addr)
-		hit := c.banks[bankIdx].openRow == row
+		hit := c.banks[r.bank].openRow == r.row
 		if best == -1 {
-			best = i
+			best, bestHit = i, hit
 			continue
 		}
-		bBank, bRow := c.mapAddr(pool[best].addr)
-		bestHit := c.banks[bBank].openRow == bRow
 		if hit && !bestHit {
-			best = i
+			best, bestHit = i, hit
 		} else if hit == bestHit && r.arrival < pool[best].arrival {
 			best = i
 		}
 	}
 
 	r := pool[best]
-	bankIdx, row := c.mapAddr(r.addr)
-	b := &c.banks[bankIdx]
+	b := &c.banks[r.bank]
 
 	// Column commands to an open row pipeline behind each other (data
 	// bursts are the limiter); activations and precharges must wait for
 	// the bank's previous data burst to finish.
 	var rowReady sim.Cycle
 	switch {
-	case b.openRow == row:
+	case b.openRow == r.row:
 		rowReady = maxCycle(now, b.readyAt)
-		c.engine.Stats.Inc("dram.row_hits")
+		*c.rowHits++
 	case b.openRow == -1:
 		rowReady = maxCycle(now, b.lastFinish) + c.cfg.TRCD
 		b.readyAt = rowReady
-		c.engine.Stats.Inc("dram.row_closed")
+		*c.rowClosed++
 	default:
 		rowReady = maxCycle(now, b.lastFinish) + c.cfg.TRP + c.cfg.TRCD
 		b.readyAt = rowReady
-		c.engine.Stats.Inc("dram.row_conflicts")
+		*c.rowConfl++
 	}
 	dataStart := maxCycle(rowReady+c.cfg.TCL, c.busFreeAt)
 	finish := dataStart + c.cfg.TBurst
-	b.openRow = row
+	b.openRow = r.row
 	b.lastFinish = finish
 	c.busFreeAt = finish
 
 	c.remove(pool, best)
 
 	if r.write {
-		c.pendingWr[r.addr]--
-		if c.pendingWr[r.addr] == 0 {
-			delete(c.pendingWr, r.addr)
-		}
+		c.pendingWr.dec(uint64(r.addr) >> arch.LineShift)
 		if c.draining && len(c.writeBuf) == 0 {
 			c.draining = false
 		}
+		c.freeRequest(r)
 	} else {
 		c.queueLat.Observe(uint64(now - r.arrival))
 		c.readLat.Observe(uint64(finish - r.arrival))
-		done := r.done
-		c.engine.At(finish, done)
+		c.engine.AtCont(finish, r.done)
+		c.freeRequest(r)
 	}
 
 	// The command bus can issue the next command shortly after this one,
 	// letting other banks overlap their activations with this data burst.
-	c.engine.Schedule(c.cfg.TCmd, c.issue)
+	c.engine.ScheduleCont(c.cfg.TCmd, c.issueCont)
 }
 
 // remove deletes index i from whichever queue pool aliases.
 func (c *Controller) remove(pool []*request, i int) {
 	target := pool[i]
 	if len(c.readQ) > 0 && sliceContainsAt(c.readQ, target, i) {
-		c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+		c.readQ = removeAt(c.readQ, i)
 		return
 	}
-	c.writeBuf = append(c.writeBuf[:i], c.writeBuf[i+1:]...)
+	c.writeBuf = removeAt(c.writeBuf, i)
+}
+
+// removeAt deletes index i preserving order, clearing the vacated tail
+// slot so recycled requests are not retained through the queue's backing
+// array.
+func removeAt(q []*request, i int) []*request {
+	n := len(q)
+	copy(q[i:], q[i+1:])
+	q[n-1] = nil
+	return q[:n-1]
 }
 
 func sliceContainsAt(q []*request, r *request, i int) bool {
@@ -268,4 +329,125 @@ func maxCycle(a, b sim.Cycle) sim.Cycle {
 		return a
 	}
 	return b
+}
+
+// wrTable is a small open-addressing (linear probing) multiset of line
+// numbers, tracking how many write-buffer entries cover each line. It
+// replaces a map[PhysAddr]int on the per-read forwarding check. Deletion
+// uses backward-shift so no tombstones accumulate.
+type wrTable struct {
+	keys   []uint64 // emptyKey marks a free slot
+	counts []uint32
+	used   int
+	mask   uint64
+}
+
+const emptyKey = ^uint64(0)
+
+func (t *wrTable) init(writeBufCap int) {
+	size := 16
+	for size < 4*writeBufCap {
+		size <<= 1
+	}
+	t.grow(size)
+}
+
+func (t *wrTable) grow(size int) {
+	oldKeys, oldCounts := t.keys, t.counts
+	t.keys = make([]uint64, size)
+	t.counts = make([]uint32, size)
+	t.mask = uint64(size - 1)
+	t.used = 0
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+	for i, k := range oldKeys {
+		if k != emptyKey {
+			t.set(k, oldCounts[i])
+		}
+	}
+}
+
+// hash spreads line numbers (low-entropy sequential values) across slots.
+func wrHash(key uint64) uint64 {
+	key *= 0x9e3779b97f4a7c15 // Fibonacci hashing
+	return key ^ (key >> 29)
+}
+
+func (t *wrTable) slot(key uint64) uint64 { return wrHash(key) & t.mask }
+
+func (t *wrTable) get(key uint64) uint32 {
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case key:
+			return t.counts[i]
+		case emptyKey:
+			return 0
+		}
+	}
+}
+
+func (t *wrTable) set(key uint64, count uint32) {
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		if t.keys[i] == emptyKey {
+			t.keys[i] = key
+			t.counts[i] = count
+			t.used++
+			return
+		}
+		if t.keys[i] == key {
+			t.counts[i] = count
+			return
+		}
+	}
+}
+
+func (t *wrTable) inc(key uint64) {
+	if t.used*2 >= len(t.keys) {
+		t.grow(len(t.keys) * 2)
+	}
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		if t.keys[i] == key {
+			t.counts[i]++
+			return
+		}
+		if t.keys[i] == emptyKey {
+			t.keys[i] = key
+			t.counts[i] = 1
+			t.used++
+			return
+		}
+	}
+}
+
+func (t *wrTable) dec(key uint64) {
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		if t.keys[i] == key {
+			t.counts[i]--
+			if t.counts[i] == 0 {
+				t.del(i)
+			}
+			return
+		}
+		if t.keys[i] == emptyKey {
+			return // not present (caller bug, but mirror map semantics)
+		}
+	}
+}
+
+// del empties slot i and backward-shifts the following cluster so every
+// remaining key stays reachable from its home slot.
+func (t *wrTable) del(i uint64) {
+	t.keys[i] = emptyKey
+	t.used--
+	for j := (i + 1) & t.mask; t.keys[j] != emptyKey; j = (j + 1) & t.mask {
+		home := t.slot(t.keys[j])
+		// Shift back if j's key cannot be reached from its home slot once
+		// slot i is empty (i.e. i lies within [home, j] on the ring).
+		if (j-home)&t.mask >= (j-i)&t.mask {
+			t.keys[i], t.counts[i] = t.keys[j], t.counts[j]
+			t.keys[j] = emptyKey
+			i = j
+		}
+	}
 }

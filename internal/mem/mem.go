@@ -21,12 +21,16 @@ const ZeroPPN arch.PPN = 0
 
 // Memory is byte-addressable main memory with lazy frame materialisation:
 // a frame with no contents reads as zeroes and occupies no host memory.
+// The frame and allocation tables are dense slices indexed by frame
+// number, so per-access lookups are a bounds check and a load rather
+// than a map probe.
 type Memory struct {
-	frames     map[arch.PPN]*[arch.PageSize]byte
+	frames     []*[arch.PageSize]byte // nil entry: frame reads as zero
 	totalPages int
 	nextFree   arch.PPN
 	freeList   []arch.PPN
-	allocated  map[arch.PPN]bool
+	allocated  []bool
+	allocCount int
 }
 
 // New creates a memory with capacity for totalPages physical frames.
@@ -35,12 +39,15 @@ func New(totalPages int) *Memory {
 	if totalPages < 2 {
 		panic("mem: need at least two pages (zero page + one usable)")
 	}
-	return &Memory{
-		frames:     make(map[arch.PPN]*[arch.PageSize]byte),
+	m := &Memory{
+		frames:     make([]*[arch.PageSize]byte, totalPages),
 		totalPages: totalPages,
 		nextFree:   1,
-		allocated:  map[arch.PPN]bool{ZeroPPN: true},
+		allocated:  make([]bool, totalPages),
+		allocCount: 1,
 	}
+	m.allocated[ZeroPPN] = true
+	return m
 }
 
 // TotalPages returns the configured capacity in frames.
@@ -48,10 +55,10 @@ func (m *Memory) TotalPages() int { return m.totalPages }
 
 // AllocatedPages returns the number of frames currently allocated,
 // including the reserved zero page.
-func (m *Memory) AllocatedPages() int { return len(m.allocated) }
+func (m *Memory) AllocatedPages() int { return m.allocCount }
 
 // FreePages returns the number of frames still available.
-func (m *Memory) FreePages() int { return m.totalPages - len(m.allocated) }
+func (m *Memory) FreePages() int { return m.totalPages - m.allocCount }
 
 // Alloc returns a free frame. Frames are handed out zeroed.
 func (m *Memory) Alloc() (arch.PPN, error) {
@@ -59,7 +66,8 @@ func (m *Memory) Alloc() (arch.PPN, error) {
 		ppn := m.freeList[n-1]
 		m.freeList = m.freeList[:n-1]
 		m.allocated[ppn] = true
-		delete(m.frames, ppn) // recycled frames read as zero again
+		m.allocCount++
+		m.frames[ppn] = nil // recycled frames read as zero again
 		return ppn, nil
 	}
 	if int(m.nextFree) >= m.totalPages {
@@ -68,6 +76,7 @@ func (m *Memory) Alloc() (arch.PPN, error) {
 	ppn := m.nextFree
 	m.nextFree++
 	m.allocated[ppn] = true
+	m.allocCount++
 	return ppn, nil
 }
 
@@ -80,12 +89,15 @@ func (m *Memory) Free(ppn arch.PPN) {
 	if !m.allocated[ppn] {
 		panic(fmt.Sprintf("mem: double free of ppn %#x", uint64(ppn)))
 	}
-	delete(m.allocated, ppn)
+	m.allocated[ppn] = false
+	m.allocCount--
 	m.freeList = append(m.freeList, ppn)
 }
 
 // Allocated reports whether the frame is currently allocated.
-func (m *Memory) Allocated(ppn arch.PPN) bool { return m.allocated[ppn] }
+func (m *Memory) Allocated(ppn arch.PPN) bool {
+	return int(ppn) < len(m.allocated) && m.allocated[ppn]
+}
 
 func (m *Memory) frame(ppn arch.PPN, materialise bool) *[arch.PageSize]byte {
 	f := m.frames[ppn]
@@ -169,6 +181,35 @@ func (m *Memory) Write64(ppn arch.PPN, offset uint64, v uint64) {
 	}
 }
 
+// ReadSpan copies len(dst) bytes starting at (ppn, offset) into dst; the
+// span must not cross the page boundary. Unmaterialised frames read as
+// zeroes.
+func (m *Memory) ReadSpan(ppn arch.PPN, offset uint64, dst []byte) {
+	if offset+uint64(len(dst)) > arch.PageSize {
+		panic("mem: ReadSpan crosses page boundary")
+	}
+	f := m.frame(ppn, false)
+	if f == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst, f[offset:])
+}
+
+// WriteSpan stores src starting at (ppn, offset); the span must not cross
+// the page boundary.
+func (m *Memory) WriteSpan(ppn arch.PPN, offset uint64, src []byte) {
+	if offset+uint64(len(src)) > arch.PageSize {
+		panic("mem: WriteSpan crosses page boundary")
+	}
+	if ppn == ZeroPPN {
+		panic("mem: write to the zero page")
+	}
+	copy(m.frame(ppn, true)[offset:], src)
+}
+
 // CopyPage copies the full contents of frame src to frame dst.
 func (m *Memory) CopyPage(dst, src arch.PPN) {
 	if dst == ZeroPPN {
@@ -176,7 +217,7 @@ func (m *Memory) CopyPage(dst, src arch.PPN) {
 	}
 	sf := m.frame(src, false)
 	if sf == nil {
-		delete(m.frames, dst) // copying a zero frame: dst reads as zero
+		m.frames[dst] = nil // copying a zero frame: dst reads as zero
 		return
 	}
 	df := m.frame(dst, true)

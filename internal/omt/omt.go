@@ -100,6 +100,11 @@ func (t *Table) Delete(opn arch.OPN) {
 // Lookup point directly into the table, so updates through them are
 // automatically coherent; the cache decides only whether the access costs
 // a hit or a full OMT walk.
+// Residency is tracked with an intrusive doubly-linked LRU list over a
+// fixed cap-sized slot array: hits and fills move the slot to the front,
+// misses at capacity evict the tail. This selects exactly the victim the
+// old timestamp scan did (least recently looked up), without the O(cap)
+// minimum scan or a growing stamp map.
 type Cache struct {
 	table   *Table
 	stats   *sim.Stats
@@ -107,8 +112,21 @@ type Cache struct {
 	cap     int
 	hitLat  sim.Cycle
 	missLat sim.Cycle
-	stamps  map[arch.OPN]uint64
-	clock   uint64
+
+	slots      []cacheSlot
+	index      map[arch.OPN]int32
+	head, tail int32 // MRU at head, LRU at tail; -1 when empty
+	free       []int32
+
+	hits      *uint64
+	misses    *uint64
+	evictions *uint64
+}
+
+// cacheSlot is one residency slot in the LRU list.
+type cacheSlot struct {
+	opn        arch.OPN
+	prev, next int32
 }
 
 // CacheConfig sizes the OMT cache.
@@ -125,57 +143,106 @@ func DefaultCacheConfig() CacheConfig {
 
 // NewCache builds the OMT cache over the table.
 func NewCache(cfg CacheConfig, table *Table, stats *sim.Stats) *Cache {
+	if cfg.Entries < 1 {
+		panic("omt: cache needs at least one entry")
+	}
 	c := &Cache{
 		table:   table,
 		stats:   stats,
 		cap:     cfg.Entries,
 		hitLat:  cfg.HitLatency,
 		missLat: cfg.MissLatency,
-		stamps:  make(map[arch.OPN]uint64),
+		slots:   make([]cacheSlot, cfg.Entries),
+		index:   make(map[arch.OPN]int32, cfg.Entries),
+		head:    -1,
+		tail:    -1,
+		free:    make([]int32, 0, cfg.Entries),
+	}
+	for i := cfg.Entries - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
 	}
 	if stats != nil {
 		c.missLog = stats.Histogram("omt.miss_penalty_cycles")
+		c.hits = stats.Counter("omt.cache_hits")
+		c.misses = stats.Counter("omt.cache_misses")
+		c.evictions = stats.Counter("omt.cache_evictions")
+	} else {
+		var sink uint64
+		c.hits, c.misses, c.evictions = &sink, &sink, &sink
 	}
 	return c
+}
+
+func (c *Cache) unlink(i int32) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+}
+
+func (c *Cache) pushFront(i int32) {
+	s := &c.slots[i]
+	s.prev, s.next = -1, c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
 }
 
 // Lookup returns the (authoritative) entry pointer for opn and the access
 // latency: a cache hit or a full OMT walk that then fills the cache.
 func (c *Cache) Lookup(opn arch.OPN) (*Entry, sim.Cycle) {
-	c.clock++
-	if _, ok := c.stamps[opn]; ok {
-		c.stamps[opn] = c.clock
-		if c.stats != nil {
-			c.stats.Inc("omt.cache_hits")
+	if i, ok := c.index[opn]; ok {
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
 		}
+		*c.hits++
 		return c.table.Ref(opn), c.hitLat
 	}
-	if c.stats != nil {
-		c.stats.Inc("omt.cache_misses")
+	*c.misses++
+	if c.missLog != nil {
 		c.missLog.Observe(uint64(c.missLat))
 	}
-	if len(c.stamps) >= c.cap {
-		var victim arch.OPN
-		var oldest uint64 = ^uint64(0)
-		for k, v := range c.stamps {
-			if v < oldest {
-				victim, oldest = k, v
-			}
-		}
-		delete(c.stamps, victim)
-		if c.stats != nil {
-			c.stats.Inc("omt.cache_evictions")
-		}
+	var i int32
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		i = c.tail
+		c.unlink(i)
+		delete(c.index, c.slots[i].opn)
+		*c.evictions++
 	}
-	c.stamps[opn] = c.clock
+	c.slots[i].opn = opn
+	c.pushFront(i)
+	c.index[opn] = i
 	return c.table.Ref(opn), c.missLat
 }
 
 // Contains reports whether opn is cached (no latency, no LRU update).
 func (c *Cache) Contains(opn arch.OPN) bool {
-	_, ok := c.stamps[opn]
+	_, ok := c.index[opn]
 	return ok
 }
 
 // Invalidate drops opn from the cache (promotion/discard actions).
-func (c *Cache) Invalidate(opn arch.OPN) { delete(c.stamps, opn) }
+func (c *Cache) Invalidate(opn arch.OPN) {
+	i, ok := c.index[opn]
+	if !ok {
+		return
+	}
+	c.unlink(i)
+	delete(c.index, opn)
+	c.free = append(c.free, i)
+}

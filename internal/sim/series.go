@@ -29,6 +29,10 @@ type Series struct {
 	next     Cycle // next un-sampled epoch boundary
 	rows     []SeriesRow
 	finished bool
+
+	// engineIdx is the series' slot in the owning engine's attach list,
+	// letting CloseSeries detach in O(1); -1 when not attached.
+	engineIdx int
 }
 
 // NewSeries creates a series sampling the named counters every epoch
@@ -39,7 +43,7 @@ func NewSeries(name string, epoch Cycle, counters ...string) *Series {
 	}
 	names := make([]string, len(counters))
 	copy(names, counters)
-	return &Series{name: name, epoch: epoch, names: names, next: epoch}
+	return &Series{name: name, epoch: epoch, names: names, next: epoch, engineIdx: -1}
 }
 
 // Name returns the series' label (e.g. "mcf/oow").

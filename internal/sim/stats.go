@@ -16,23 +16,39 @@ import (
 // they do on an empty registry (zero counts, empty — but non-nil —
 // snapshot maps).
 type Stats struct {
-	counters map[string]uint64
+	counters map[string]*uint64
 	hists    map[string]*Histogram
 }
 
-// Add increments the named counter by n, creating it if needed.
-func (s *Stats) Add(name string, n uint64) {
+// Counter returns a stable pointer to the named counter's storage,
+// creating it (at zero) if needed. Hot components fetch their handles
+// once at construction and bump them with `*h++`, keeping the per-event
+// path free of string-keyed map writes. Handles stay valid until Reset.
+func (s *Stats) Counter(name string) *uint64 {
 	if s.counters == nil {
-		s.counters = make(map[string]uint64)
+		s.counters = make(map[string]*uint64)
 	}
-	s.counters[name] += n
+	p := s.counters[name]
+	if p == nil {
+		p = new(uint64)
+		s.counters[name] = p
+	}
+	return p
 }
+
+// Add increments the named counter by n, creating it if needed.
+func (s *Stats) Add(name string, n uint64) { *s.Counter(name) += n }
 
 // Inc increments the named counter by one.
 func (s *Stats) Inc(name string) { s.Add(name, 1) }
 
 // Get returns the counter's value (zero if never touched).
-func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+func (s *Stats) Get(name string) uint64 {
+	if p := s.counters[name]; p != nil {
+		return *p
+	}
+	return 0
+}
 
 // Histogram returns the named histogram, creating it empty if needed.
 // Components fetch their handle once at construction and call Observe on
@@ -59,7 +75,9 @@ func (s *Stats) Histograms() map[string]*Histogram {
 	return out
 }
 
-// Reset clears every counter and histogram.
+// Reset clears every counter and histogram. Counter handles obtained
+// before Reset are orphaned: they keep working but no longer feed the
+// registry, so components holding handles must be rebuilt after a Reset.
 func (s *Stats) Reset() {
 	s.counters = nil
 	s.hists = nil
@@ -73,7 +91,7 @@ func (s *Stats) Merge(other *Stats) {
 		return
 	}
 	for name, v := range other.counters {
-		s.Add(name, v)
+		s.Add(name, *v)
 	}
 	for name, h := range other.hists {
 		s.Histogram(name).Merge(h)
@@ -104,7 +122,7 @@ func (s *Stats) HistogramNames() []string {
 func (s *Stats) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(s.counters))
 	for k, v := range s.counters {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }
@@ -114,7 +132,7 @@ func (s *Stats) Snapshot() map[string]uint64 {
 func (s *Stats) String() string {
 	var sb strings.Builder
 	for _, name := range s.Names() {
-		fmt.Fprintf(&sb, "%-40s %12d\n", name, s.counters[name])
+		fmt.Fprintf(&sb, "%-40s %12d\n", name, *s.counters[name])
 	}
 	for _, name := range s.HistogramNames() {
 		h := s.hists[name]

@@ -1,0 +1,37 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// benchWalker resolves every miss to an identity mapping.
+type benchWalker struct{}
+
+func (benchWalker) Walk(pid arch.PID, vpn arch.VPN) (Entry, bool) {
+	return Entry{PPN: arch.PPN(vpn), Writable: true}, true
+}
+
+// BenchmarkTLBLookup measures translations against a warm two-level
+// TLB: mostly L1 hits with a tail of L2 hits and walks, the mix the
+// simulator's read/write paths pay on every access.
+func BenchmarkTLBLookup(b *testing.B) {
+	e := sim.NewEngine()
+	t := New(DefaultConfig(), benchWalker{}, &e.Stats)
+	const hot = 48   // fits in the 64-entry L1
+	const warm = 768 // fits in the 1024-entry L2
+	for v := 0; v < warm; v++ {
+		t.Lookup(1, arch.VPN(v))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		v := arch.VPN(n % hot)
+		if n&15 == 0 {
+			v = arch.VPN(n % warm)
+		}
+		t.Lookup(1, v)
+	}
+}

@@ -152,18 +152,29 @@ type TLB struct {
 	stats     *sim.Stats
 	lookupLat *sim.Histogram // every translation's latency (hits and misses)
 	walkLat   *sim.Histogram // miss path only: L1 + L2 probes + page walk
+
+	l1Hits      *uint64
+	l2Hits      *uint64
+	misses      *uint64
+	shootdowns  *uint64
+	lineUpdates *uint64
 }
 
 // New builds a TLB backed by the walker.
 func New(cfg Config, walker Walker, stats *sim.Stats) *TLB {
 	return &TLB{
-		cfg:       cfg,
-		l1:        newLevel(cfg.L1Entries, cfg.L1Ways),
-		l2:        newLevel(cfg.L2Entries, cfg.L2Ways),
-		walker:    walker,
-		stats:     stats,
-		lookupLat: stats.Histogram("tlb.lookup_cycles"),
-		walkLat:   stats.Histogram("tlb.walk_cycles"),
+		cfg:         cfg,
+		l1:          newLevel(cfg.L1Entries, cfg.L1Ways),
+		l2:          newLevel(cfg.L2Entries, cfg.L2Ways),
+		walker:      walker,
+		stats:       stats,
+		lookupLat:   stats.Histogram("tlb.lookup_cycles"),
+		walkLat:     stats.Histogram("tlb.walk_cycles"),
+		l1Hits:      stats.Counter("tlb.l1_hits"),
+		l2Hits:      stats.Counter("tlb.l2_hits"),
+		misses:      stats.Counter("tlb.misses"),
+		shootdowns:  stats.Counter("tlb.shootdowns"),
+		lineUpdates: stats.Counter("tlb.line_updates"),
 	}
 }
 
@@ -173,18 +184,18 @@ func New(cfg Config, walker Walker, stats *sim.Stats) *TLB {
 func (t *TLB) Lookup(pid arch.PID, vpn arch.VPN) (Entry, sim.Cycle, bool) {
 	k := key{pid, vpn}
 	if w, ok := t.l1.lookup(k); ok {
-		t.stats.Inc("tlb.l1_hits")
+		*t.l1Hits++
 		t.lookupLat.Observe(uint64(t.cfg.L1Latency))
 		return w.entry, t.cfg.L1Latency, true
 	}
 	if w, ok := t.l2.lookup(k); ok {
-		t.stats.Inc("tlb.l2_hits")
+		*t.l2Hits++
 		e := w.entry
 		t.l1.insert(k, e)
 		t.lookupLat.Observe(uint64(t.cfg.L1Latency + t.cfg.L2Latency))
 		return e, t.cfg.L1Latency + t.cfg.L2Latency, true
 	}
-	t.stats.Inc("tlb.misses")
+	*t.misses++
 	lat := t.cfg.L1Latency + t.cfg.L2Latency + t.cfg.WalkLatency
 	t.lookupLat.Observe(uint64(lat))
 	t.walkLat.Observe(uint64(lat))
@@ -217,7 +228,7 @@ func (t *TLB) Shootdown(pid arch.PID, vpn arch.VPN) sim.Cycle {
 	k := key{pid, vpn}
 	t.l1.invalidate(k)
 	t.l2.invalidate(k)
-	t.stats.Inc("tlb.shootdowns")
+	*t.shootdowns++
 	return t.cfg.ShootdownLatency
 }
 
@@ -245,7 +256,7 @@ func (t *TLB) UpdateLine(pid arch.PID, vpn arch.VPN, lineIdx int, inOverlay bool
 	u1 := t.l1.update(k, fn)
 	u2 := t.l2.update(k, fn)
 	if u1 || u2 {
-		t.stats.Inc("tlb.line_updates")
+		*t.lineUpdates++
 	}
 	return u1 || u2
 }

@@ -210,13 +210,18 @@ func (mgr *Manager) Exit(p *Process) {
 // memory through the page tables (no overlays; internal/core layers
 // overlay semantics on top).
 func (mgr *Manager) ReadBytes(p *Process, va arch.VirtAddr, buf []byte) error {
-	for i := range buf {
-		a := va + arch.VirtAddr(i)
+	for n := 0; n < len(buf); {
+		a := va + arch.VirtAddr(n)
 		pte := p.Table.Lookup(a.Page())
 		if pte == nil {
 			return fmt.Errorf("vm: read fault at %#x", uint64(a))
 		}
-		buf[i] = mgr.Mem.Read(pte.PPN, a.Offset())
+		span := int(arch.PageSize - a.Offset())
+		if span > len(buf)-n {
+			span = len(buf) - n
+		}
+		mgr.Mem.ReadSpan(pte.PPN, a.Offset(), buf[n:n+span])
+		n += span
 	}
 	return nil
 }
@@ -224,8 +229,8 @@ func (mgr *Manager) ReadBytes(p *Process, va arch.VirtAddr, buf []byte) error {
 // WriteBytes writes through the page tables, resolving COW faults with
 // conventional page copies. It is the no-overlay baseline write path.
 func (mgr *Manager) WriteBytes(p *Process, va arch.VirtAddr, data []byte) error {
-	for i, b := range data {
-		a := va + arch.VirtAddr(i)
+	for n := 0; n < len(data); {
+		a := va + arch.VirtAddr(n)
 		pte := p.Table.Lookup(a.Page())
 		if pte == nil {
 			return fmt.Errorf("vm: write fault at %#x", uint64(a))
@@ -239,7 +244,12 @@ func (mgr *Manager) WriteBytes(p *Process, va arch.VirtAddr, data []byte) error 
 			}
 			pte = p.Table.Lookup(a.Page())
 		}
-		mgr.Mem.Write(pte.PPN, a.Offset(), b)
+		span := int(arch.PageSize - a.Offset())
+		if span > len(data)-n {
+			span = len(data) - n
+		}
+		mgr.Mem.WriteSpan(pte.PPN, a.Offset(), data[n:n+span])
+		n += span
 	}
 	return nil
 }
