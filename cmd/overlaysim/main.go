@@ -11,6 +11,7 @@
 //	overlaysim bench                  fixed job matrix: parallel-vs-sequential baseline for CI
 //	overlaysim trace                  record a workload trace / replay one through the simulator
 //	overlaysim stats                  run one fork benchmark and dump all counters
+//	overlaysim serve                  serve experiment jobs over HTTP (docs/API.md)
 //
 // Most subcommands accept -json=<file> (machine-readable schema-versioned
 // export), -csv=<file> (epoch series rows) and -tracelog=<file> (Chrome
@@ -132,6 +133,7 @@ func commands() []*command {
 		newBenchCmd(),
 		newTraceCmd(),
 		newStatsCmd(),
+		newServeCmd(),
 	}
 }
 
@@ -241,38 +243,83 @@ func (t *telemetryFlags) traceLog() *sim.TraceLog {
 	return sim.NewTraceLog(t.traceCap)
 }
 
-// write emits the requested telemetry files. Any of the inputs may be nil.
-func (t *telemetryFlags) write(ex *sim.Export, series []*sim.Series, tl *sim.TraceLog) error {
-	if t.jsonPath != "" && ex != nil {
-		if err := writeFile(t.jsonPath, ex.WriteJSON); err != nil {
+// telemetryOutputs holds the eagerly-created output files between a
+// command's flag parse and its final write.
+type telemetryOutputs struct {
+	json, csv, trace *os.File
+}
+
+// open creates every requested output file up front, so an unwritable
+// path is a usage error (exit 2) before minutes of simulation — the
+// same fail-fast contract profileFlags.start has.
+func (t *telemetryFlags) open() (*telemetryOutputs, error) {
+	o := &telemetryOutputs{}
+	for _, out := range []struct {
+		path string
+		flag string
+		dst  **os.File
+	}{
+		{t.jsonPath, "json", &o.json},
+		{t.csvPath, "csv", &o.csv},
+		{t.tracePath, "tracelog", &o.trace},
+	} {
+		if out.path == "" {
+			continue
+		}
+		fh, err := os.Create(out.path)
+		if err != nil {
+			o.close()
+			return nil, usageError(fmt.Sprintf("invalid -%s: %v", out.flag, err))
+		}
+		*out.dst = fh
+	}
+	return o, nil
+}
+
+// close releases any handles write has not consumed yet. Idempotent, so
+// commands can defer it and still call write on the success path.
+func (o *telemetryOutputs) close() {
+	for _, fh := range []**os.File{&o.json, &o.csv, &o.trace} {
+		if *fh != nil {
+			(*fh).Close()
+			*fh = nil
+		}
+	}
+}
+
+// flush emits one output and consumes its handle.
+func flush(fh **os.File, emit func(io.Writer) error) error {
+	if *fh == nil {
+		return nil
+	}
+	err := emit(*fh)
+	if cerr := (*fh).Close(); err == nil {
+		err = cerr
+	}
+	*fh = nil
+	return err
+}
+
+// write emits the requested telemetry files. Any of the inputs may be
+// nil; an output whose input is nil is left empty.
+func (o *telemetryOutputs) write(ex *sim.Export, series []*sim.Series, tl *sim.TraceLog) error {
+	defer o.close()
+	if ex != nil {
+		if err := flush(&o.json, ex.WriteJSON); err != nil {
 			return err
 		}
 	}
-	if t.csvPath != "" {
-		if err := writeFile(t.csvPath, func(w io.Writer) error {
-			return sim.WriteSeriesCSV(w, series...)
-		}); err != nil {
-			return err
-		}
+	if err := flush(&o.csv, func(w io.Writer) error {
+		return sim.WriteSeriesCSV(w, series...)
+	}); err != nil {
+		return err
 	}
-	if t.tracePath != "" && tl != nil {
-		if err := writeFile(t.tracePath, tl.WriteChrome); err != nil {
+	if tl != nil {
+		if err := flush(&o.trace, tl.WriteChrome); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func writeFile(path string, emit func(io.Writer) error) error {
-	fh, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := emit(fh); err != nil {
-		fh.Close()
-		return err
-	}
-	return fh.Close()
 }
 
 func newConfigCmd() *command {
@@ -306,6 +353,11 @@ func newForkCmd() *command {
 			if err != nil {
 				return err
 			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
 			tl := tel.traceLog()
 			params := exp.ForkParams{
 				WarmInstructions:    *warm,
@@ -332,7 +384,7 @@ func newForkCmd() *command {
 			for i := range results {
 				series = append(series, results[i].CoW.Series, results[i].OoW.Series)
 			}
-			return tel.write(ex, series, tl)
+			return outs.write(ex, series, tl)
 		},
 	}
 }
@@ -356,6 +408,11 @@ func newSpmvCmd() *command {
 			if *limit < 0 {
 				return usageError(fmt.Sprintf("invalid -matrices %d: must be >= 0", *limit))
 			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
 			results, err := exp.RunFigure10Pool(context.Background(), pool, *limit, *dense)
 			if err != nil {
 				return err
@@ -366,7 +423,7 @@ func newSpmvCmd() *command {
 			}
 			ex := sim.NewExport("spmv")
 			ex.Results = results
-			return tel.write(ex, nil, nil)
+			return outs.write(ex, nil, nil)
 		},
 	}
 }
@@ -389,6 +446,11 @@ func newLinesizeCmd() *command {
 			if *limit < 0 {
 				return usageError(fmt.Sprintf("invalid -matrices %d: must be >= 0", *limit))
 			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
 			results, err := exp.RunFigure11Pool(context.Background(), pool, *limit)
 			if err != nil {
 				return err
@@ -399,7 +461,7 @@ func newLinesizeCmd() *command {
 			}
 			ex := sim.NewExport("linesize")
 			ex.Results = results
-			return tel.write(ex, nil, nil)
+			return outs.write(ex, nil, nil)
 		},
 	}
 }
@@ -426,6 +488,11 @@ func newSweepCmd() *command {
 			if *rows < 8 {
 				return usageError(fmt.Sprintf("invalid -rows %d: need at least one cache line of values", *rows))
 			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
 			results, err := exp.RunSparsitySweepPool(context.Background(), pool, *points, *rows)
 			if err != nil {
 				return err
@@ -436,7 +503,7 @@ func newSweepCmd() *command {
 			}
 			ex := sim.NewExport("sweep")
 			ex.Results = results
-			return tel.write(ex, nil, nil)
+			return outs.write(ex, nil, nil)
 		},
 	}
 }
@@ -455,6 +522,11 @@ func newDualcoreCmd() *command {
 			if err != nil {
 				return err
 			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
 			results, err := exp.RunDualCorePool(context.Background(), pool)
 			if err != nil {
 				return err
@@ -465,7 +537,7 @@ func newDualcoreCmd() *command {
 			}
 			ex := sim.NewExport("dualcore")
 			ex.Results = results
-			return tel.write(ex, nil, nil)
+			return outs.write(ex, nil, nil)
 		},
 	}
 }
@@ -495,7 +567,17 @@ func newBenchCmd() *command {
 			if *wallTol < 0 {
 				return usageError(fmt.Sprintf("invalid -wall-tolerance %g: must be >= 0", *wallTol))
 			}
-			// Load the baseline before spending minutes simulating.
+			// Open the export and load the baseline before spending
+			// minutes simulating: a bad path is a usage error now, not
+			// a runtime error after the run.
+			var jsonFh *os.File
+			if *jsonPath != "" {
+				var err error
+				if jsonFh, err = os.Create(*jsonPath); err != nil {
+					return usageError(fmt.Sprintf("invalid -json: %v", err))
+				}
+				defer jsonFh.Close()
+			}
 			var baseline *exp.BenchReport
 			if *check != "" {
 				fh, err := os.Open(*check)
@@ -541,13 +623,16 @@ func newBenchCmd() *command {
 				return err
 			}
 			exp.PrintBench(stdout, report)
-			if *jsonPath != "" {
+			if jsonFh != nil {
 				ex := sim.NewExport("bench")
 				ex.Meta = sim.NewRunMeta(workers)
 				ex.Meta.WallMS = float64(time.Since(start).Microseconds()) / 1000
 				ex.Config = plan
 				ex.Results = report
-				if err := writeFile(*jsonPath, ex.WriteJSON); err != nil {
+				if err := ex.WriteJSON(jsonFh); err != nil {
+					return err
+				}
+				if err := jsonFh.Close(); err != nil {
 					return err
 				}
 			}
@@ -579,6 +664,11 @@ func newStatsCmd() *command {
 			if err != nil {
 				return err
 			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
 			cfg := core.DefaultConfig()
 			cfg.MemoryPages = spec.Pages*2 + 16384
 			tl := tel.traceLog()
@@ -600,7 +690,7 @@ func newStatsCmd() *command {
 			if r, ok := ex.Results.(exp.MechanismResult); ok && r.Series != nil {
 				series = append(series, r.Series)
 			}
-			return tel.write(ex, series, tl)
+			return outs.write(ex, series, tl)
 		},
 	}
 }

@@ -142,6 +142,23 @@ func TestExitCodes(t *testing.T) {
 		{"config bad memprofile path", []string{"config", "-memprofile=/nonexistent/dir/mem.pprof"}, 2},
 		{"trace bad cpuprofile path", []string{"trace", "-cpuprofile=/nonexistent/dir/cpu.pprof"}, 2},
 
+		// Unwritable output paths fail fast, before any simulation: the
+		// huge instruction counts would hang the test if the experiment
+		// ran first.
+		{"fork unwritable json", []string{"fork", "-warm=1000000000000", "-measure=1000000000000", "-json=/nonexistent/dir/out.json"}, 2},
+		{"sweep unwritable csv", []string{"sweep", "-points=1000", "-rows=65536", "-csv=/nonexistent/dir/out.csv"}, 2},
+		{"dualcore unwritable tracelog", []string{"dualcore", "-tracelog=/nonexistent/dir/out.trace"}, 2},
+		{"stats unwritable json", []string{"stats", "-measure=1000000000000", "-json=/nonexistent/dir/out.json"}, 2},
+		{"bench unwritable json", []string{"bench", "-json=/nonexistent/dir/bench.json"}, 2},
+
+		// serve validates its flags before binding the listener.
+		{"serve bad flag", []string{"serve", "-nope"}, 2},
+		{"serve negative workers", []string{"serve", "-workers=-1"}, 2},
+		{"serve zero queue", []string{"serve", "-queue=0"}, 2},
+		{"serve negative job timeout", []string{"serve", "-job-timeout=-1s"}, 2},
+		{"serve zero grace", []string{"serve", "-grace=0"}, 2},
+		{"serve unlistenable addr", []string{"serve", "-addr=999.999.999.999:0"}, 2},
+
 		// Runtime errors → 1.
 		{"stats unknown benchmark", []string{"stats", "-bench=notabench"}, 1},
 		{"fork unknown benchmark", []string{"fork", "-bench=notabench"}, 1},

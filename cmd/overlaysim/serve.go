@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// serve test hooks, nil outside the package tests: serveReady receives
+// the bound address once the listener is up, and a close of serveStop
+// triggers the same drain path a SIGTERM does.
+var (
+	serveReady chan<- string
+	serveStop  <-chan struct{}
+)
+
+func newServeCmd() *command {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen `address` (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "jobs simulated concurrently (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 16, "accepted jobs that may wait behind the running ones")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock cap (0 = unbounded)")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
+	cacheSize := fs.Int("cache", 128, "result cache entries (negative disables caching)")
+	return &command{
+		name:    "serve",
+		summary: "serve experiment jobs over HTTP (wire protocol: docs/API.md)",
+		flags:   fs,
+		prof:    addProfileFlags(fs),
+		run: func(stdout, stderr io.Writer) error {
+			if *workers < 0 {
+				return usageError(fmt.Sprintf("invalid -workers %d: must be >= 0", *workers))
+			}
+			if *queue < 1 {
+				return usageError(fmt.Sprintf("invalid -queue %d: must be >= 1", *queue))
+			}
+			if *jobTimeout < 0 {
+				return usageError(fmt.Sprintf("invalid -job-timeout %s: must be >= 0", *jobTimeout))
+			}
+			if *grace <= 0 {
+				return usageError(fmt.Sprintf("invalid -grace %s: must be > 0", *grace))
+			}
+			cfg := server.Config{
+				Workers:    *workers,
+				QueueDepth: *queue,
+				JobTimeout: *jobTimeout,
+				CacheSize:  *cacheSize,
+			}
+			return serve(*addr, cfg, *grace, stdout, stderr)
+		},
+	}
+}
+
+// serve listens on addr and runs the job service until SIGINT/SIGTERM
+// (or the test stop hook), then drains: intake stops with 503, in-flight
+// jobs get the grace period to finish, stragglers are cancelled. A clean
+// drain exits 0; an expired grace period is a runtime error (exit 1).
+func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return usageError(fmt.Sprintf("invalid -addr: %v", err))
+	}
+	srv := server.New(cfg)
+	hs := &http.Server{Handler: srv.Handler()}
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	fmt.Fprintf(stdout, "overlaysim serve: listening on http://%s\n", ln.Addr())
+	if serveReady != nil {
+		serveReady <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // the listener died on its own
+	case <-sigCtx.Done():
+	case <-serveStop:
+	}
+	// Restore default signal handling so a second signal kills the
+	// process instead of waiting out the grace period.
+	stopSignals()
+
+	fmt.Fprintf(stderr, "overlaysim serve: shutting down, draining jobs for up to %s\n", grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	drainErr := srv.Drain(graceCtx)
+
+	// All jobs are terminal now, so event streams and waiting submits
+	// unblock promptly; Shutdown just flushes the last responses.
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := hs.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr == nil {
+		fmt.Fprintln(stderr, "overlaysim serve: drained cleanly")
+	}
+	return drainErr
+}

@@ -22,11 +22,21 @@ type Pool struct {
 	// Progress, when non-nil, receives the harness's live
 	// jobs-done/ETA line (typically stderr).
 	Progress io.Writer
+
+	// OnProgress, when non-nil, receives structured per-job completion
+	// totals (done, total, failed) — the serve layer streams these to
+	// clients as SSE events.
+	OnProgress harness.ProgressFunc
 }
 
 // opts builds the harness options for one labelled sweep.
 func (p Pool) opts(label string) harness.Options {
-	return harness.Options{Parallel: p.Parallel, Progress: p.Progress, Label: label}
+	return harness.Options{
+		Parallel:   p.Parallel,
+		Progress:   p.Progress,
+		OnProgress: p.OnProgress,
+		Label:      label,
+	}
 }
 
 // suiteSubset returns the matrix suite, evenly subsampled to limit

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSpecRoundTrip feeds specs through CLIArgs → SpecFromArgs and
+// asserts the normalized spec survives unchanged.
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []JobSpec{
+		{Experiment: "fork", Bench: "hmmer", Warm: 20000, Measure: 50000},
+		{Experiment: "fork"},
+		{Experiment: "spmv", Matrices: 6, Dense: true, Parallel: 4},
+		{Experiment: "linesize", Matrices: 10},
+		{Experiment: "sweep", Points: 8, Rows: 128},
+		{Experiment: "sweep"},
+		{Experiment: "dualcore", Parallel: 2},
+	}
+	for _, s := range specs {
+		args := s.CLIArgs()
+		back, err := SpecFromArgs(args)
+		if err != nil {
+			t.Errorf("%v: SpecFromArgs(%v): %v", s, args, err)
+			continue
+		}
+		if back != s.Normalized() {
+			t.Errorf("round trip drifted:\n spec %+v\n args %v\n back %+v", s.Normalized(), args, back)
+		}
+	}
+}
+
+// TestSpecValidation exercises the flag-table checks: unknown
+// experiments, inapplicable fields, and the CLI's value constraints.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string // substring of the validation error ("" = valid)
+	}{
+		{"ok fork", JobSpec{Experiment: "fork", Bench: "mcf"}, ""},
+		{"ok dualcore", JobSpec{Experiment: "dualcore"}, ""},
+		{"ok sweep defaults", JobSpec{Experiment: "sweep"}, ""},
+		{"unknown experiment", JobSpec{Experiment: "warp"}, "unknown experiment"},
+		{"fork with rows", JobSpec{Experiment: "fork", Rows: 64}, `"rows" does not apply`},
+		{"fork unknown bench", JobSpec{Experiment: "fork", Bench: "nope"}, "nope"},
+		{"spmv with warm", JobSpec{Experiment: "spmv", Warm: 5}, `"warm" does not apply`},
+		{"dualcore with dense", JobSpec{Experiment: "dualcore", Dense: true}, `"dense" does not apply`},
+		{"negative parallel", JobSpec{Experiment: "spmv", Parallel: -1}, "parallel"},
+		{"negative matrices", JobSpec{Experiment: "linesize", Matrices: -2}, "matrices"},
+		{"sweep one point", JobSpec{Experiment: "sweep", Points: 1}, "at least 2 sweep points"},
+		{"sweep tiny rows", JobSpec{Experiment: "sweep", Rows: 4}, "cache line"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+		var ve *ValidationError
+		if err != nil && !errors.As(err, &ve) {
+			t.Errorf("%s: error is %T, want *ValidationError", c.name, err)
+		}
+	}
+}
+
+// TestSpecValidationCollectsAll asserts one bad spec reports every
+// problem, not just the first.
+func TestSpecValidationCollectsAll(t *testing.T) {
+	s := JobSpec{Experiment: "sweep", Points: 1, Rows: 4, Parallel: -3, Dense: true}
+	err := s.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error = %v, want *ValidationError", err)
+	}
+	if len(ve.Problems) != 4 {
+		t.Errorf("got %d problems, want 4: %v", len(ve.Problems), ve.Problems)
+	}
+}
+
+// TestSpecKey pins the cache-key semantics: defaults and explicit
+// defaults collide, Parallel never matters, and distinct work diverges.
+func TestSpecKey(t *testing.T) {
+	base := JobSpec{Experiment: "sweep"}
+	explicit := JobSpec{Experiment: "sweep", Points: 11, Rows: 256}
+	if base.Key() != explicit.Key() {
+		t.Error("spec with explicit defaults has a different key than the bare spec")
+	}
+	par := JobSpec{Experiment: "sweep", Parallel: 8}
+	if base.Key() != par.Key() {
+		t.Error("parallel hint changed the cache key; metrics are identical at any worker count")
+	}
+	other := JobSpec{Experiment: "sweep", Points: 8}
+	if base.Key() == other.Key() {
+		t.Error("different sweep sizes share a cache key")
+	}
+	if k := base.Key(); len(k) != 64 {
+		t.Errorf("key %q is not a hex sha256", k)
+	}
+}
+
+// TestParseJobSpec covers strict decoding: unknown fields and invalid
+// specs are rejected with ValidationError.
+func TestParseJobSpec(t *testing.T) {
+	good := `{"experiment":"fork","bench":"hmmer","warm":20000,"measure":50000}`
+	s, err := ParseJobSpec(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if s.Bench != "hmmer" || s.Warm != 20000 {
+		t.Errorf("parsed spec = %+v", s)
+	}
+	for name, body := range map[string]string{
+		"unknown field":   `{"experiment":"fork","turbo":true}`,
+		"not json":        `experiment=fork`,
+		"bad experiment":  `{"experiment":"warp"}`,
+		"field mismatch":  `{"experiment":"dualcore","rows":64}`,
+		"negative number": `{"experiment":"spmv","matrices":-1}`,
+	} {
+		if _, err := ParseJobSpec(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+// TestSpecRunMatchesDirectRunner runs a tiny sweep through JobSpec.Run
+// and through the underlying pool runner directly; the simulated cycle
+// counts must agree (the serve layer adds no simulation of its own).
+func TestSpecRunMatchesDirectRunner(t *testing.T) {
+	spec := JobSpec{Experiment: "sweep", Points: 2, Rows: 64}
+	out, err := spec.Run(context.Background(), Pool{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Export == nil || out.Export.Command != "sweep" {
+		t.Fatalf("export = %+v", out.Export)
+	}
+	direct, err := RunSparsitySweepPool(context.Background(), Pool{Parallel: 1}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.Export.Results.([]SweepResult)
+	if !ok {
+		t.Fatalf("export results have type %T", out.Export.Results)
+	}
+	if len(got) != len(direct) {
+		t.Fatalf("got %d results, want %d", len(got), len(direct))
+	}
+	for i := range got {
+		if got[i] != direct[i] {
+			t.Errorf("point %d: spec run %+v != direct run %+v", i, got[i], direct[i])
+		}
+	}
+}
+
+// TestSpecRunCancelled asserts a pre-cancelled context surfaces as
+// ctx.Err, not a partial result.
+func TestSpecRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := JobSpec{Experiment: "dualcore"}.Run(ctx, Pool{Parallel: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

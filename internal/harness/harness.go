@@ -47,9 +47,20 @@ type Options struct {
 	// stderr) as jobs complete. Nil disables progress reporting.
 	Progress io.Writer
 
+	// OnProgress, when non-nil, is invoked after every job completes
+	// with the pool's running totals. It is the structured counterpart
+	// of Progress (which renders for humans): servers and UIs subscribe
+	// here. Calls are serialised under the progress lock, so the
+	// callback must be fast and must not re-enter the pool.
+	OnProgress ProgressFunc
+
 	// Label prefixes progress lines, e.g. "fork".
 	Label string
 }
+
+// ProgressFunc observes pool progress: done jobs so far (out of total),
+// of which failed returned an error.
+type ProgressFunc func(done, total, failed int)
 
 // Result is the outcome of one job, tagged with its input index.
 type Result[T any] struct {
@@ -89,7 +100,7 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 		workers = len(jobs)
 	}
 
-	prog := newProgress(opts.Progress, opts.Label, len(jobs))
+	prog := newProgress(opts.Progress, opts.OnProgress, opts.Label, len(jobs))
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -135,6 +135,98 @@ func TestCancellationMidSweep(t *testing.T) {
 	}
 }
 
+// TestCancelMidRunReleasesWorker is the serve-layer contract: a job
+// cancelled while it is running must come back as a plain
+// context.Canceled — not wrapped in a PanicError — and its worker slot
+// must be released so the pool can run the next submission. The single
+// worker here makes the slot reuse observable: if cancellation leaked
+// the slot, the follow-up Run would never start.
+func TestCancelMidRunReleasesWorker(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	running := make(chan struct{})
+	jobs := []Job[int]{
+		func(ctx context.Context) (int, error) {
+			close(running)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+		func(ctx context.Context) (int, error) { return 1, nil },
+		func(ctx context.Context) (int, error) { return 2, nil },
+	}
+	done := make(chan []Result[int], 1)
+	go func() { done <- Run(ctx, Options{Parallel: 1}, jobs) }()
+	<-running
+	cancel()
+
+	var results []Result[int]
+	select {
+	case results = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation: worker slot leaked")
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d error = %v, want context.Canceled", i, r.Err)
+		}
+		var pe *PanicError
+		if errors.As(r.Err, &pe) {
+			t.Errorf("job %d cancellation was panic-wrapped: %v", i, r.Err)
+		}
+	}
+
+	// The pool is batch-scoped: a fresh Run on the same goroutine
+	// budget must work immediately after the cancelled one drained.
+	out, err := Map(context.Background(), Options{Parallel: 1}, []int{7},
+		func(context.Context, int, int) (int, error) { return 42, nil })
+	if err != nil || out[0] != 42 {
+		t.Fatalf("follow-up run after cancellation: out=%v err=%v", out, err)
+	}
+}
+
+// TestOnProgressHook verifies the structured progress callback: one
+// call per completed job, monotonically increasing done counts, the
+// final call at done == total, and failure counting — all without a
+// Progress writer attached.
+func TestOnProgressHook(t *testing.T) {
+	const n = 6
+	var mu sync.Mutex
+	var calls [][3]int
+	opts := Options{
+		Parallel: 3,
+		OnProgress: func(done, total, failed int) {
+			mu.Lock()
+			calls = append(calls, [3]int{done, total, failed})
+			mu.Unlock()
+		},
+	}
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if i%2 == 1 {
+				return 0, errors.New("odd jobs fail")
+			}
+			return i, nil
+		}
+	}
+	Run(context.Background(), opts, jobs)
+	if len(calls) != n {
+		t.Fatalf("callback ran %d times, want %d", len(calls), n)
+	}
+	for i, c := range calls {
+		if c[0] != i+1 || c[1] != n {
+			t.Errorf("call %d = %v, want done=%d total=%d", i, c, i+1, n)
+		}
+	}
+	if last := calls[n-1]; last[0] != n || last[2] != n/2 {
+		t.Errorf("final call = %v, want done=%d failed=%d", last, n, n/2)
+	}
+}
+
 // TestPerJobTimeout bounds one slow job without touching the others.
 func TestPerJobTimeout(t *testing.T) {
 	jobs := []Job[string]{

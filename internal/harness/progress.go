@@ -8,11 +8,13 @@ import (
 )
 
 // progress renders a live jobs-done/total line with an ETA estimated
-// from the mean completion rate so far. A nil *progress is disabled;
-// all methods are safe to call concurrently from workers.
+// from the mean completion rate so far, and fans the same totals out to
+// an optional structured callback. A nil *progress is disabled; all
+// methods are safe to call concurrently from workers.
 type progress struct {
 	mu     sync.Mutex
 	w      io.Writer
+	fn     ProgressFunc
 	label  string
 	total  int
 	done   int
@@ -20,17 +22,18 @@ type progress struct {
 	start  time.Time
 }
 
-func newProgress(w io.Writer, label string, total int) *progress {
-	if w == nil {
+func newProgress(w io.Writer, fn ProgressFunc, label string, total int) *progress {
+	if w == nil && fn == nil {
 		return nil
 	}
 	if label != "" {
 		label += ": "
 	}
-	return &progress{w: w, label: label, total: total, start: time.Now()}
+	return &progress{w: w, fn: fn, label: label, total: total, start: time.Now()}
 }
 
-// jobDone records one completion and rewrites the progress line.
+// jobDone records one completion, rewrites the progress line, and
+// notifies the structured callback.
 func (p *progress) jobDone(err error) {
 	if p == nil {
 		return
@@ -40,6 +43,12 @@ func (p *progress) jobDone(err error) {
 	p.done++
 	if err != nil {
 		p.failed++
+	}
+	if p.fn != nil {
+		p.fn(p.done, p.total, p.failed)
+	}
+	if p.w == nil {
+		return
 	}
 	fmt.Fprintf(p.w, "\r%s%d/%d jobs done", p.label, p.done, p.total)
 	if p.failed > 0 {
@@ -52,13 +61,18 @@ func (p *progress) jobDone(err error) {
 	}
 }
 
-// finish terminates the progress line with a total-wall summary.
+// finish terminates the progress line with a total-wall summary. The
+// structured callback is not re-notified: it already saw the final
+// (done == total) state from the last jobDone.
 func (p *progress) finish() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.w == nil {
+		return
+	}
 	fmt.Fprintf(p.w, "\r%s%d/%d jobs in %s",
 		p.label, p.done, p.total, time.Since(p.start).Round(time.Millisecond))
 	if p.failed > 0 {

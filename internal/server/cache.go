@@ -1,0 +1,57 @@
+package server
+
+import "container/list"
+
+// resultCache is a bounded LRU of rendered job results keyed by the
+// canonical spec hash. Simulations are deterministic, so entries never
+// go stale — the bound exists only to cap memory. Not safe for
+// concurrent use; the Server guards it with its own mutex.
+type resultCache struct {
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	result []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// put inserts (or refreshes) a result and evicts the least recently
+// used entry beyond the bound.
+func (c *resultCache) put(key string, result []byte) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).result = result
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, result: result})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int { return c.ll.Len() }

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// maxSpecBytes bounds a job-spec request body; canonical specs are a
+// few hundred bytes.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP routes (see docs/API.md).
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return countRequests(s, mux)
+}
+
+// Handler is the method form of the package-level Handler.
+func (s *Server) Handler() http.Handler { return Handler(s) }
+
+// countRequests bumps the request counter around every route.
+func countRequests(s *Server, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.addStat("server.http_requests", 1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error    string   `json:"error"`
+	Problems []string `json:"problems,omitempty"`
+	JobID    string   `json:"job_id,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error, jobID string) {
+	body := errorBody{Error: err.Error(), JobID: jobID}
+	var ve *exp.ValidationError
+	if errors.As(err, &ve) {
+		body.Problems = ve.Problems
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleSubmit accepts a JSON job spec. With ?wait=true the response
+// is deferred until the job reaches a terminal state (200); otherwise
+// an accepted job answers 202 immediately. Cache hits always answer
+// 200 with the completed job document.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := exp.ParseJobSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, "")
+		return
+	}
+	j, status, err := s.submit(spec)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		}
+		jobID := ""
+		if j != nil {
+			jobID = j.id
+		}
+		writeError(w, status, err, jobID)
+		return
+	}
+	if status == http.StatusAccepted && wantWait(r) {
+		select {
+		case <-j.done:
+			status = http.StatusOK
+		case <-r.Context().Done():
+			return // client gave up; the job keeps running
+		}
+	}
+	s.mu.Lock()
+	doc := j.doc(true)
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, status, doc)
+}
+
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	docs := make([]JobDoc, 0, len(s.order))
+	for _, j := range s.order {
+		docs = append(docs, j.doc(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": docs})
+}
+
+// lookup resolves the path's job id, answering 404 itself on a miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")), "")
+	}
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	doc := j.doc(true)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleResult serves the raw export document — exactly the bytes the
+// equivalent CLI invocation would have written with -json. 409 until
+// the job is done.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	result := j.result
+	s.mu.Unlock()
+	if state != StateDone {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; no result to serve", j.id, state), j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(result) //nolint:errcheck
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.cancelJob(r.PathValue("id"))
+	if errors.Is(err, errNoSuchJob) {
+		writeError(w, http.StatusNotFound, err, "")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err, j.id)
+		return
+	}
+	s.mu.Lock()
+	doc := j.doc(false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, doc)
+}
+
+// handleEvents streams the job's lifecycle as Server-Sent Events:
+// `progress` events carry harness completion totals, and one terminal
+// event — named after the final state — carries the full job document.
+// Progress is coalescing (a slow client sees the latest state, not
+// every tick); the terminal event is always delivered.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError,
+			errors.New("streaming unsupported by this connection"), j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	sub := make(chan struct{}, 1)
+	s.mu.Lock()
+	j.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(j.subs, sub)
+		s.mu.Unlock()
+	}()
+
+	var sent ProgressEvent
+	sentAny := false
+	for {
+		s.mu.Lock()
+		prog, hasProg := j.progress, j.hasProg
+		terminal := j.terminal()
+		var finalDoc JobDoc
+		var state string
+		if terminal {
+			finalDoc = j.doc(true)
+			state = j.state
+		}
+		s.mu.Unlock()
+
+		if hasProg && (!sentAny || prog != sent) {
+			if err := writeSSE(w, "progress", prog); err != nil {
+				return
+			}
+			sent, sentAny = prog, true
+			fl.Flush()
+		}
+		if terminal {
+			if writeSSE(w, state, finalDoc) == nil {
+				fl.Flush()
+			}
+			return
+		}
+		select {
+		case <-sub:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event: `event: <name>` + single-line JSON data.
+func writeSSE(w http.ResponseWriter, event string, data interface{}) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}
+
+// handleMetrics renders the telemetry registry — server counters and
+// histograms plus simulator stats merged in from completed jobs — in
+// Prometheus text format, with live queue gauges on top.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP overlaysim_server_queue_depth jobs waiting in the bounded queue\n"+
+		"# TYPE overlaysim_server_queue_depth gauge\noverlaysim_server_queue_depth %d\n",
+		len(s.queue))
+	fmt.Fprintf(w, "# HELP overlaysim_server_queue_capacity bounded queue capacity\n"+
+		"# TYPE overlaysim_server_queue_capacity gauge\noverlaysim_server_queue_capacity %d\n",
+		cap(s.queue))
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	sim.WritePrometheus(w, "overlaysim_", s.stats) //nolint:errcheck // client gone
+}

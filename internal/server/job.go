@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Job states. A job moves queued → running → one terminal state;
+// cancellation can short-circuit from either non-terminal state.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// ProgressEvent is one structured progress update: completed sub-jobs
+// of the experiment's harness sweep (a fork suite counts benchmarks, a
+// sweep counts points, …).
+type ProgressEvent struct {
+	Done   int `json:"done"`
+	Total  int `json:"total"`
+	Failed int `json:"failed"`
+}
+
+// job is the server-side record of one submission. All fields after
+// the immutable header are guarded by the Server's mutex.
+type job struct {
+	id   string
+	spec exp.JobSpec
+	key  string
+
+	state     string
+	cached    bool
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  ProgressEvent
+	hasProg   bool
+	result    []byte // rendered sim.Export JSON, exactly as the CLI's -json writes it
+
+	cancel context.CancelFunc
+	subs   map[chan struct{}]struct{} // SSE subscribers (signal channels, cap 1)
+	done   chan struct{}              // closed exactly once on terminal transition
+}
+
+// terminal reports whether the job reached a final state.
+func (j *job) terminal() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+}
+
+// JobDoc is the wire representation of a job (see docs/API.md).
+type JobDoc struct {
+	ID          string          `json:"id"`
+	State       string          `json:"state"`
+	Cached      bool            `json:"cached"`
+	Spec        exp.JobSpec     `json:"spec"`
+	Key         string          `json:"key"`
+	Error       string          `json:"error,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	Progress    *ProgressEvent  `json:"progress,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+// doc renders the job for the wire. withResult controls whether the
+// (potentially large) result document rides along; listings omit it.
+// Caller holds the Server mutex.
+func (j *job) doc(withResult bool) JobDoc {
+	d := JobDoc{
+		ID:          j.id,
+		State:       j.state,
+		Cached:      j.cached,
+		Spec:        j.spec,
+		Key:         j.key,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		d.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		d.FinishedAt = &t
+	}
+	if j.hasProg {
+		p := j.progress
+		d.Progress = &p
+	}
+	if withResult && j.result != nil {
+		d.Result = json.RawMessage(j.result)
+	}
+	return d
+}
+
+// notifySubs pokes every subscriber without blocking: each channel has
+// capacity one, so a slow reader coalesces updates instead of stalling
+// the worker. Caller holds the Server mutex.
+func (j *job) notifySubs() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// jobID formats the sequential job identifier.
+func jobID(seq int) string { return fmt.Sprintf("job-%06d", seq) }

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// Runner executes one validated job spec. The default is
+// exp.JobSpec.Run; tests substitute stubs to script slow, failing or
+// progress-reporting jobs without simulating.
+type Runner func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error)
+
+// Config sizes the service. The zero value is usable: every field has
+// a production default.
+type Config struct {
+	// Workers is the number of jobs simulated concurrently
+	// (0 = GOMAXPROCS). Each job may additionally fan out its own
+	// simulations per its spec's parallel field.
+	Workers int
+
+	// QueueDepth bounds how many accepted jobs may wait behind the
+	// running ones (0 = 16). A full queue rejects submissions with
+	// 429 + Retry-After instead of buffering without bound.
+	QueueDepth int
+
+	// JobTimeout caps one job's wall clock (0 = unbounded). Enforced
+	// by the harness's per-job timeout; an expired job fails with
+	// context.DeadlineExceeded.
+	JobTimeout time.Duration
+
+	// CacheSize bounds the result cache in entries (0 = 128,
+	// negative disables caching).
+	CacheSize int
+
+	// RetryAfter is the backpressure hint returned with 429
+	// (0 = 2s).
+	RetryAfter time.Duration
+
+	// Runner overrides job execution (nil = exp.JobSpec.Run).
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.Runner == nil {
+		c.Runner = func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+			return spec.Run(ctx, pool)
+		}
+	}
+	return c
+}
+
+// Server runs experiment jobs submitted over HTTP. Construct with New
+// (workers start immediately), serve its Handler, and stop with Drain.
+type Server struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// statsMu guards the telemetry registry; sim.Stats itself is not
+	// concurrency-safe.
+	statsMu sync.Mutex
+	stats   *sim.Stats
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job          // submission order, for listing
+	inflight map[string]*job // canonical key → queued/running job
+	cache    *resultCache
+	queue    chan *job
+	draining bool
+	seq      int
+
+	wg sync.WaitGroup
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		stats:      &sim.Stats{},
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		cache:      newResultCache(cfg.CacheSize),
+		queue:      make(chan *job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// addStat bumps a server counter under the registry lock.
+func (s *Server) addStat(name string, n uint64) {
+	s.statsMu.Lock()
+	s.stats.Add(name, n)
+	s.statsMu.Unlock()
+}
+
+// observe records one histogram sample under the registry lock.
+func (s *Server) observe(name string, v uint64) {
+	s.statsMu.Lock()
+	s.stats.Histogram(name).Observe(v)
+	s.statsMu.Unlock()
+}
+
+// submit registers a new job or replies out of cache. It returns the
+// job (possibly an already-terminal cache-backed record), a suggested
+// HTTP status, and an error for rejections (full queue, draining,
+// duplicate in flight).
+func (s *Server) submit(spec exp.JobSpec) (*job, int, error) {
+	key := spec.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addStat("server.jobs_submitted", 1)
+
+	if s.draining {
+		return nil, 503, errors.New("server is draining; not accepting jobs")
+	}
+	if result, ok := s.cache.get(key); ok {
+		s.addStat("server.cache_hits", 1)
+		j := s.newJobLocked(spec, key)
+		now := time.Now()
+		j.state = StateDone
+		j.cached = true
+		j.started, j.finished = now, now
+		j.result = result
+		close(j.done)
+		return j, 200, nil
+	}
+	s.addStat("server.cache_misses", 1)
+	if dup, ok := s.inflight[key]; ok {
+		return dup, 409, fmt.Errorf("an identical job is already in flight as %s", dup.id)
+	}
+
+	j := s.newJobLocked(spec, key)
+	select {
+	case s.queue <- j:
+	default:
+		// Roll the registration back: the job never existed.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.seq--
+		s.addStat("server.queue_rejections", 1)
+		return nil, 429, fmt.Errorf("job queue is full (%d waiting)", cap(s.queue))
+	}
+	s.inflight[key] = j
+	return j, 202, nil
+}
+
+// newJobLocked allocates and registers a queued job record.
+func (s *Server) newJobLocked(spec exp.JobSpec, key string) *job {
+	s.seq++
+	j := &job{
+		id:        jobID(s.seq),
+		spec:      spec,
+		key:       key,
+		state:     StateQueued,
+		submitted: time.Now(),
+		subs:      make(map[chan struct{}]struct{}),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	return j
+}
+
+// runJob executes one dequeued job through the harness: a single
+// harness job wraps the runner, contributing panic→error conversion
+// and the per-job timeout, while the experiment underneath fans its
+// own simulations across the spec's parallelism.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	j.notifySubs()
+	queueWait := j.started.Sub(j.submitted)
+	s.mu.Unlock()
+	defer cancel()
+
+	s.addStat("server.engine_runs", 1)
+	s.observe("server.queue_wait_ms", uint64(queueWait.Milliseconds()))
+
+	pool := exp.Pool{
+		Parallel: 1, // overridden by the spec's parallel field when set
+		OnProgress: func(done, total, failed int) {
+			s.mu.Lock()
+			j.progress = ProgressEvent{Done: done, Total: total, Failed: failed}
+			j.hasProg = true
+			j.notifySubs()
+			s.mu.Unlock()
+		},
+	}
+	results := harness.Run(ctx, harness.Options{Parallel: 1, Timeout: s.cfg.JobTimeout},
+		[]harness.Job[*exp.JobOutput]{func(ctx context.Context) (*exp.JobOutput, error) {
+			return s.cfg.Runner(ctx, j.spec, pool)
+		}})
+	out, err := results[0].Value, results[0].Err
+
+	var rendered []byte
+	if err == nil && out != nil && out.Export != nil {
+		var buf bytes.Buffer
+		if werr := out.Export.WriteJSON(&buf); werr != nil {
+			err = fmt.Errorf("rendering result: %w", werr)
+		} else {
+			rendered = buf.Bytes()
+		}
+	} else if err == nil {
+		err = errors.New("runner returned no result")
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, j.key)
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = rendered
+		s.cache.put(j.key, rendered)
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	state := j.state
+	close(j.done)
+	j.notifySubs()
+	s.mu.Unlock()
+
+	s.observe("server.job_wall_ms", uint64(j.finished.Sub(j.started).Milliseconds()))
+	switch state {
+	case StateDone:
+		s.addStat("server.jobs_completed", 1)
+	case StateCancelled:
+		s.addStat("server.jobs_cancelled", 1)
+	default:
+		s.addStat("server.jobs_failed", 1)
+	}
+	if err == nil && out.Stats != nil {
+		s.statsMu.Lock()
+		s.stats.Merge(out.Stats)
+		s.statsMu.Unlock()
+	}
+}
+
+// cancelJob cancels a queued or running job. It returns the job and
+// nil on success, or an error describing why nothing was cancelled.
+func (s *Server) cancelJob(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, errNoSuchJob
+	}
+	switch j.state {
+	case StateQueued:
+		// The worker that eventually dequeues it will skip it.
+		j.state = StateCancelled
+		j.errMsg = context.Canceled.Error()
+		j.finished = time.Now()
+		delete(s.inflight, j.key)
+		close(j.done)
+		j.notifySubs()
+		s.addStat("server.jobs_cancelled", 1)
+		return j, nil
+	case StateRunning:
+		j.cancel() // the worker performs the terminal transition
+		return j, nil
+	default:
+		return j, fmt.Errorf("job %s is already %s", id, j.state)
+	}
+}
+
+var errNoSuchJob = errors.New("no such job")
+
+// Drain stops intake and shuts the pool down: new submissions get 503,
+// queued and running jobs are given until ctx expires to finish, and
+// anything still running afterwards is cancelled. Drain returns nil on
+// a clean drain and an error when the grace period expired (in-flight
+// simulations do not observe cancellation mid-engine-run, so a forced
+// drain may abandon worker goroutines to process exit).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Grace expired: cancel everything still alive and give workers a
+	// moment to notice before abandoning them.
+	s.mu.Lock()
+	forced := 0
+	for _, j := range s.order {
+		switch j.state {
+		case StateRunning:
+			j.cancel()
+			forced++
+		case StateQueued:
+			j.state = StateCancelled
+			j.errMsg = context.Canceled.Error()
+			j.finished = time.Now()
+			delete(s.inflight, j.key)
+			close(j.done)
+			j.notifySubs()
+			forced++
+		}
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+	return fmt.Errorf("drain grace period expired; cancelled %d in-flight jobs", forced)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,552 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// stubOutput fabricates a small deterministic result for a spec so
+// tests can exercise the job machinery without simulating.
+func stubOutput(spec exp.JobSpec) *exp.JobOutput {
+	ex := sim.NewExport("stub-" + spec.Experiment)
+	st := &sim.Stats{}
+	st.Add("sim.stub_runs", 1)
+	return &exp.JobOutput{Export: ex, Stats: st}
+}
+
+// countingRunner returns instantly-successful stub results and counts
+// engine invocations.
+type countingRunner struct {
+	mu   sync.Mutex
+	runs int
+}
+
+func (c *countingRunner) run(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+	c.mu.Lock()
+	c.runs++
+	c.mu.Unlock()
+	return stubOutput(spec), nil
+}
+
+func (c *countingRunner) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort cleanup
+		ts.Close()
+	})
+	return s, ts
+}
+
+// sweepSpec builds a valid spec whose cache key varies with rows.
+func sweepSpec(rows int) string {
+	return fmt.Sprintf(`{"experiment":"sweep","points":2,"rows":%d}`, rows)
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, body string, wait bool) (int, JobDoc, http.Header) {
+	t.Helper()
+	url := ts.URL + "/v1/jobs"
+	if wait {
+		url += "?wait=true"
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	var doc JobDoc
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("decoding job doc from %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, doc, resp.Header
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestSubmitWaitAndCacheHit(t *testing.T) {
+	runner := &countingRunner{}
+	_, ts := newTestServer(t, Config{Workers: 2, Runner: runner.run})
+
+	status, doc, _ := postSpec(t, ts, sweepSpec(64), true)
+	if status != http.StatusOK {
+		t.Fatalf("first submit: status = %d, want 200", status)
+	}
+	if doc.State != StateDone || doc.Cached {
+		t.Fatalf("first submit: state = %q cached = %v, want done/false", doc.State, doc.Cached)
+	}
+	if len(doc.Result) == 0 {
+		t.Fatalf("first submit: no result in completed job doc")
+	}
+
+	// An identical spec — even spelled with explicit defaults and a
+	// different parallel hint — is served out of cache without another
+	// engine run.
+	status, dup, _ := postSpec(t, ts, `{"experiment":"sweep","points":2,"rows":64,"parallel":4}`, false)
+	if status != http.StatusOK {
+		t.Fatalf("duplicate submit: status = %d, want 200", status)
+	}
+	if dup.State != StateDone || !dup.Cached {
+		t.Fatalf("duplicate submit: state = %q cached = %v, want done/true", dup.State, dup.Cached)
+	}
+	if string(dup.Result) != string(doc.Result) {
+		t.Fatalf("cached result differs from original")
+	}
+	if got := runner.count(); got != 1 {
+		t.Fatalf("engine ran %d times, want 1 (duplicate must hit the cache)", got)
+	}
+
+	// The result endpoint serves the raw export bytes.
+	code, raw := getBody(t, ts.URL+"/v1/jobs/"+doc.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("GET result: status = %d, want 200", code)
+	}
+	var indented json.RawMessage
+	if err := json.Unmarshal(raw, &indented); err != nil {
+		t.Fatalf("result is not JSON: %v", err)
+	}
+	if !strings.Contains(string(raw), `"command": "stub-sweep"`) {
+		t.Fatalf("result lacks export command: %s", raw)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: (&countingRunner{}).run})
+	for _, body := range []string{
+		`{`,
+		`{"experiment":"warp"}`,
+		`{"experiment":"sweep","bogus":1}`,
+		`{"experiment":"sweep","points":1}`,
+		`{"experiment":"fork","rows":9}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: status = %d, want 400", body, resp.StatusCode)
+			continue
+		}
+		var e struct {
+			Error    string   `json:"error"`
+			Problems []string `json:"problems"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil || len(e.Problems) == 0 {
+			t.Errorf("spec %s: error body %q lacks problems list", body, raw)
+		}
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	runner := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return stubOutput(spec), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Runner: runner})
+
+	// First job occupies the only worker, second fills the queue.
+	status, _, _ := postSpec(t, ts, sweepSpec(8), false)
+	if status != http.StatusAccepted {
+		t.Fatalf("job 1: status = %d, want 202", status)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("worker never started job 1")
+	}
+	status, _, _ = postSpec(t, ts, sweepSpec(16), false)
+	if status != http.StatusAccepted {
+		t.Fatalf("job 2: status = %d, want 202", status)
+	}
+
+	status, _, hdr := postSpec(t, ts, sweepSpec(24), false)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status = %d, want 429", status)
+	}
+	if hdr.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want %q", hdr.Get("Retry-After"), "2")
+	}
+
+	// A rejected job leaves no record behind.
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("registered jobs = %d, want 2 (429 must roll back)", n)
+	}
+
+	close(release)
+}
+
+func TestDuplicateInFlightConflicts(t *testing.T) {
+	release := make(chan struct{})
+	runner := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+		select {
+		case <-release:
+			return stubOutput(spec), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: runner})
+
+	status, first, _ := postSpec(t, ts, sweepSpec(32), false)
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit: status = %d, want 202", status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(sweepSpec(32)))
+	if err != nil {
+		t.Fatalf("POST duplicate: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate submit: status = %d, want 409", resp.StatusCode)
+	}
+	var e struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(raw, &e); err != nil || e.JobID != first.ID {
+		t.Fatalf("409 body %q does not name the in-flight job %s", raw, first.ID)
+	}
+	close(release)
+}
+
+func TestLookupErrors(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	runner := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return stubOutput(spec), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: runner})
+
+	if code, _ := getBody(t, ts.URL+"/v1/jobs/job-999999"); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job: status = %d, want 404", code)
+	}
+
+	_, doc, _ := postSpec(t, ts, sweepSpec(40), false)
+	<-started
+	if code, _ := getBody(t, ts.URL+"/v1/jobs/"+doc.ID+"/result"); code != http.StatusConflict {
+		t.Fatalf("GET result of running job: status = %d, want 409", code)
+	}
+	close(release)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	runner := &countingRunner{}
+	blocking := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return runner.run(ctx, spec, pool)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Runner: blocking})
+
+	_, run, _ := postSpec(t, ts, sweepSpec(48), false)
+	<-started
+	_, queued, _ := postSpec(t, ts, sweepSpec(56), false)
+
+	del := func(id string) (int, JobDoc) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("DELETE %s: %v", id, err)
+		}
+		defer resp.Body.Close()
+		var doc JobDoc
+		json.NewDecoder(resp.Body).Decode(&doc) //nolint:errcheck
+		return resp.StatusCode, doc
+	}
+
+	// Cancelling a queued job is an immediate terminal transition.
+	code, doc := del(queued.ID)
+	if code != http.StatusAccepted || doc.State != StateCancelled {
+		t.Fatalf("cancel queued: status = %d state = %q, want 202/cancelled", code, doc.State)
+	}
+	// Cancelling a running job asks the worker to stop.
+	code, _ = del(run.ID)
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel running: status = %d, want 202", code)
+	}
+	s.mu.Lock()
+	j := s.jobs[run.ID]
+	s.mu.Unlock()
+	select {
+	case <-j.done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("cancelled running job never reached a terminal state")
+	}
+	if code, raw := getBody(t, ts.URL+"/v1/jobs/"+run.ID); code != http.StatusOK ||
+		!strings.Contains(string(raw), `"state": "cancelled"`) {
+		t.Fatalf("cancelled job doc: status %d body %s", code, raw)
+	}
+
+	// Cancelling a terminal job conflicts; the skipped queued job never
+	// reached the runner.
+	if code, _ := del(queued.ID); code != http.StatusConflict {
+		t.Fatalf("cancel terminal: status = %d, want 409", code)
+	}
+	close(release)
+	if got := runner.count(); got != 0 {
+		t.Fatalf("runner ran %d times, want 0 (both jobs were cancelled)", got)
+	}
+}
+
+// readSSEEvent reads one `event:`/`data:` pair from the stream.
+func readSSEEvent(t *testing.T, r *bufio.Reader) (string, string) {
+	t.Helper()
+	var event, data string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v (got event=%q data=%q)", err, event, data)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+}
+
+func TestEventsStreamProgressAndTerminal(t *testing.T) {
+	stage := make(chan struct{})
+	runner := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+		pool.OnProgress(1, 3, 0)
+		select {
+		case <-stage:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		pool.OnProgress(3, 3, 1)
+		return stubOutput(spec), nil
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: runner})
+
+	_, doc, _ := postSpec(t, ts, sweepSpec(72), false)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	event, data := readSSEEvent(t, br)
+	if event != "progress" {
+		t.Fatalf("first event = %q, want progress", event)
+	}
+	var p ProgressEvent
+	if err := json.Unmarshal([]byte(data), &p); err != nil || p != (ProgressEvent{Done: 1, Total: 3}) {
+		t.Fatalf("first progress = %+v (%v), want {1 3 0}", p, err)
+	}
+
+	close(stage)
+	sawFinal := false
+	for !sawFinal {
+		event, data = readSSEEvent(t, br)
+		switch event {
+		case "progress":
+			// the coalesced 3/3 update; fine either way
+		case StateDone:
+			var final JobDoc
+			if err := json.Unmarshal([]byte(data), &final); err != nil {
+				t.Fatalf("terminal event data: %v", err)
+			}
+			if final.State != StateDone || len(final.Result) == 0 {
+				t.Fatalf("terminal doc = state %q, result %d bytes", final.State, len(final.Result))
+			}
+			if final.Progress == nil || final.Progress.Failed != 1 {
+				t.Fatalf("terminal doc progress = %+v, want failed=1", final.Progress)
+			}
+			sawFinal = true
+		default:
+			t.Fatalf("unexpected event %q", event)
+		}
+	}
+}
+
+func TestDrainClean(t *testing.T) {
+	runner := &countingRunner{}
+	s := New(Config{Workers: 1, Runner: runner.run})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, _, _ := postSpec(t, ts, sweepSpec(80), true)
+	if status != http.StatusOK {
+		t.Fatalf("submit: status = %d, want 200", status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while drained: status = %d, want 503", code)
+	}
+	if status, _, _ := postSpec(t, ts, sweepSpec(88), false); status != http.StatusServiceUnavailable {
+		t.Fatalf("submit while drained: status = %d, want 503", status)
+	}
+}
+
+func TestDrainForcedCancelsStragglers(t *testing.T) {
+	started := make(chan struct{}, 1)
+	runner := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+		started <- struct{}{}
+		<-ctx.Done() // refuses to finish until cancelled
+		return nil, ctx.Err()
+	}
+	s := New(Config{Workers: 1, QueueDepth: 2, Runner: runner})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, run, _ := postSpec(t, ts, sweepSpec(96), false)
+	<-started
+	_, queued, _ := postSpec(t, ts, sweepSpec(104), false)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Drain(ctx)
+	if err == nil {
+		t.Fatalf("forced drain returned nil, want grace-period error")
+	}
+	if !strings.Contains(err.Error(), "cancelled 2 in-flight jobs") {
+		t.Fatalf("forced drain error = %v", err)
+	}
+	for _, id := range []string{run.ID, queued.ID} {
+		code, raw := getBody(t, ts.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK || !strings.Contains(string(raw), `"state": "cancelled"`) {
+			t.Fatalf("job %s after forced drain: status %d body %s", id, code, raw)
+		}
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	runner := &countingRunner{}
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: 1, Runner: runner.run})
+
+	postSpec(t, ts, sweepSpec(112), true) // cached
+	postSpec(t, ts, sweepSpec(120), true) // evicts 112
+	s.mu.Lock()
+	n := s.cache.len()
+	s.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("cache holds %d entries, want 1", n)
+	}
+
+	status, doc, _ := postSpec(t, ts, sweepSpec(112), true)
+	if status != http.StatusOK || doc.Cached {
+		t.Fatalf("evicted spec: status = %d cached = %v, want 200/false (re-run)", status, doc.Cached)
+	}
+	if got := runner.count(); got != 3 {
+		t.Fatalf("engine ran %d times, want 3 (eviction forces a re-run)", got)
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	runner := &countingRunner{}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: runner.run})
+
+	postSpec(t, ts, sweepSpec(128), true)
+	postSpec(t, ts, sweepSpec(128), false) // cache hit
+
+	code, raw := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status = %d", code)
+	}
+	samples, types, err := sim.ParsePrometheus(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("metrics do not parse as Prometheus text format: %v\n%s", err, raw)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		if s.Le == "" {
+			byName[s.Name] = s.Value
+		}
+	}
+	for name, want := range map[string]float64{
+		"overlaysim_server_engine_runs":    1,
+		"overlaysim_server_cache_hits":     1,
+		"overlaysim_server_jobs_completed": 1,
+		"overlaysim_sim_stub_runs":         1, // merged from the job's own registry
+		"overlaysim_server_queue_depth":    0,
+	} {
+		if got, ok := byName[name]; !ok || got != want {
+			t.Errorf("metric %s = %v (present %v), want %v", name, got, ok, want)
+		}
+	}
+	if types["overlaysim_server_queue_depth"] != "gauge" {
+		t.Errorf("queue depth type = %q, want gauge", types["overlaysim_server_queue_depth"])
+	}
+	if types["overlaysim_server_job_wall_ms"] != "histogram" {
+		t.Errorf("job wall histogram type = %q, want histogram", types["overlaysim_server_job_wall_ms"])
+	}
+	if _, ok := byName["overlaysim_server_job_wall_ms_count"]; !ok {
+		t.Errorf("histogram _count series missing from /metrics")
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"dram.read_cycles":   "dram_read_cycles",
+		"core.cow-copies":    "core_cow_copies",
+		"tlb walk":           "tlb_walk",
+		"9lives":             "_9lives",
+		"ok_name:subsystem0": "ok_name:subsystem0",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusRoundTrip renders a populated registry and feeds
+// it back through the parser: every counter value survives, every
+// histogram has monotonically non-decreasing cumulative buckets ending
+// at +Inf == _count, and every metric declares a TYPE.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	s := &Stats{}
+	s.Add("dram.reads", 123)
+	s.Add("core.overlaying_writes", 7)
+	h := s.Histogram("dram.read_cycles")
+	for _, v := range []uint64{0, 1, 3, 3, 17, 17, 200, 5000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, "overlaysim_", s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	samples, types, err := ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("rendered output does not parse: %v\n%s", err, out)
+	}
+
+	byName := map[string][]PromSample{}
+	for _, smp := range samples {
+		byName[smp.Name] = append(byName[smp.Name], smp)
+	}
+	if v := byName["overlaysim_dram_reads"]; len(v) != 1 || v[0].Value != 123 {
+		t.Errorf("dram.reads sample = %v", v)
+	}
+	if types["overlaysim_dram_reads"] != "counter" {
+		t.Errorf("dram.reads TYPE = %q", types["overlaysim_dram_reads"])
+	}
+	if types["overlaysim_dram_read_cycles"] != "histogram" {
+		t.Errorf("histogram TYPE = %q", types["overlaysim_dram_read_cycles"])
+	}
+
+	buckets := byName["overlaysim_dram_read_cycles_bucket"]
+	if len(buckets) < 2 {
+		t.Fatalf("histogram has %d bucket samples", len(buckets))
+	}
+	prevLe := math.Inf(-1)
+	prevCum := -1.0
+	for _, b := range buckets {
+		le := math.Inf(1)
+		if b.Le != "+Inf" {
+			var err error
+			le, err = parsePromValue(b.Le)
+			if err != nil {
+				t.Fatalf("bucket le %q: %v", b.Le, err)
+			}
+		}
+		if le <= prevLe {
+			t.Errorf("bucket le %v not increasing after %v", le, prevLe)
+		}
+		if b.Value < prevCum {
+			t.Errorf("bucket counts not cumulative: %v after %v", b.Value, prevCum)
+		}
+		prevLe, prevCum = le, b.Value
+	}
+	last := buckets[len(buckets)-1]
+	if last.Le != "+Inf" {
+		t.Errorf("last bucket le = %q, want +Inf", last.Le)
+	}
+	count := byName["overlaysim_dram_read_cycles_count"]
+	sum := byName["overlaysim_dram_read_cycles_sum"]
+	if len(count) != 1 || count[0].Value != float64(h.Count()) {
+		t.Errorf("_count = %v, want %d", count, h.Count())
+	}
+	if last.Value != count[0].Value {
+		t.Errorf("+Inf bucket %v != _count %v", last.Value, count[0].Value)
+	}
+	if len(sum) != 1 || sum[0].Value != float64(h.Sum()) {
+		t.Errorf("_sum = %v, want %d", sum, h.Sum())
+	}
+}
+
+// TestWritePrometheusEmpty renders the zero registry (valid, empty).
+func TestWritePrometheusEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, "x_", &Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty registry rendered %q", buf.String())
+	}
+	if _, _, err := ParsePrometheus(&buf); err != nil {
+		t.Errorf("empty exposition rejected: %v", err)
+	}
+}
+
+// TestParsePrometheusRejectsMalformed guards the parser itself.
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"no value":   "metric_without_value\n",
+		"bad value":  "m one\n",
+		"bad labels": `m{job="x"} 1` + "\n",
+	} {
+		if _, _, err := ParsePrometheus(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, doc)
+		}
+	}
+}
