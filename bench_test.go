@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -48,7 +49,7 @@ func forkPair(b *testing.B, name string) exp.ForkResult {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r, err := exp.RunForkBenchmark(spec, exp.QuickForkParams())
+	r, err := exp.RunForkBenchmark(context.Background(), spec, exp.QuickForkParams())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -216,6 +217,7 @@ type telemetryFlags struct {
 	jsonPath  string
 	csvPath   string
 	tracePath string
+	spansPath string
 	traceCap  int
 	epoch     uint64
 }
@@ -225,6 +227,7 @@ func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
 	fs.StringVar(&t.jsonPath, "json", "", "write the machine-readable export (JSON, schema v1) to this `file`")
 	fs.StringVar(&t.csvPath, "csv", "", "write epoch time-series rows (CSV) to this `file`")
 	fs.StringVar(&t.tracePath, "tracelog", "", "write structured simulator events (Chrome trace_event JSON) to this `file`")
+	fs.StringVar(&t.spansPath, "spans", "", "write host-side timing spans (JSONL) to this `file`; spans also merge into -tracelog")
 	fs.IntVar(&t.traceCap, "tracecap", sim.DefaultTraceCap, "trace ring-buffer capacity in `events`")
 	fs.Uint64Var(&t.epoch, "epoch", uint64(sim.DefaultEpoch), "series sampling period in `cycles`")
 	return t
@@ -232,7 +235,7 @@ func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
 
 // wanted reports whether any telemetry output was requested.
 func (t *telemetryFlags) wanted() bool {
-	return t.jsonPath != "" || t.csvPath != "" || t.tracePath != ""
+	return t.jsonPath != "" || t.csvPath != "" || t.tracePath != "" || t.spansPath != ""
 }
 
 // traceLog returns the shared trace ring if -tracelog was given.
@@ -243,10 +246,28 @@ func (t *telemetryFlags) traceLog() *sim.TraceLog {
 	return sim.NewTraceLog(t.traceCap)
 }
 
+// traceContext equips the command's context with a span tracer when
+// -spans (or -tracelog, which embeds the spans) was requested: the
+// harness and experiment phases record wall-clock spans under a
+// "cli.<cmd>" root. finish ends the root and returns every recorded
+// span; without span output it returns nil and the context is plain.
+func (t *telemetryFlags) traceContext(cmd string) (ctx context.Context, finish func() []obs.Span) {
+	if t.spansPath == "" && t.tracePath == "" {
+		return context.Background(), func() []obs.Span { return nil }
+	}
+	tr := obs.NewTracer(obs.TraceID{}, 0)
+	ctx = obs.NewContext(context.Background(), tr)
+	ctx, root := obs.StartSpan(ctx, "cli."+cmd)
+	return ctx, func() []obs.Span {
+		root.End()
+		return tr.Spans()
+	}
+}
+
 // telemetryOutputs holds the eagerly-created output files between a
 // command's flag parse and its final write.
 type telemetryOutputs struct {
-	json, csv, trace *os.File
+	json, csv, trace, spans *os.File
 }
 
 // open creates every requested output file up front, so an unwritable
@@ -262,6 +283,7 @@ func (t *telemetryFlags) open() (*telemetryOutputs, error) {
 		{t.jsonPath, "json", &o.json},
 		{t.csvPath, "csv", &o.csv},
 		{t.tracePath, "tracelog", &o.trace},
+		{t.spansPath, "spans", &o.spans},
 	} {
 		if out.path == "" {
 			continue
@@ -279,7 +301,7 @@ func (t *telemetryFlags) open() (*telemetryOutputs, error) {
 // close releases any handles write has not consumed yet. Idempotent, so
 // commands can defer it and still call write on the success path.
 func (o *telemetryOutputs) close() {
-	for _, fh := range []**os.File{&o.json, &o.csv, &o.trace} {
+	for _, fh := range []**os.File{&o.json, &o.csv, &o.trace, &o.spans} {
 		if *fh != nil {
 			(*fh).Close()
 			*fh = nil
@@ -301,8 +323,11 @@ func flush(fh **os.File, emit func(io.Writer) error) error {
 }
 
 // write emits the requested telemetry files. Any of the inputs may be
-// nil; an output whose input is nil is left empty.
-func (o *telemetryOutputs) write(ex *sim.Export, series []*sim.Series, tl *sim.TraceLog) error {
+// nil; an output whose input is nil is left empty. Host-side spans go
+// to -spans as JSONL and additionally merge into the -tracelog Chrome
+// document (simulated-cycle tracks at pid >= 1, wall-clock spans at
+// pid 0).
+func (o *telemetryOutputs) write(ex *sim.Export, series []*sim.Series, tl *sim.TraceLog, spans []obs.Span) error {
 	defer o.close()
 	if ex != nil {
 		if err := flush(&o.json, ex.WriteJSON); err != nil {
@@ -314,8 +339,23 @@ func (o *telemetryOutputs) write(ex *sim.Export, series []*sim.Series, tl *sim.T
 	}); err != nil {
 		return err
 	}
+	if err := flush(&o.spans, func(w io.Writer) error {
+		return obs.WriteSpansJSONL(w, spans)
+	}); err != nil {
+		return err
+	}
 	if tl != nil {
-		if err := flush(&o.trace, tl.WriteChrome); err != nil {
+		if err := flush(&o.trace, func(w io.Writer) error {
+			simRecords, err := tl.ChromeRecords()
+			if err != nil {
+				return err
+			}
+			spanRecords, err := obs.ChromeRecords(spans)
+			if err != nil {
+				return err
+			}
+			return sim.WriteChromeTrace(w, simRecords, spanRecords)
+		}); err != nil {
 			return err
 		}
 	}
@@ -369,7 +409,8 @@ func newForkCmd() *command {
 			if *bench != "" {
 				names = []string{*bench}
 			}
-			results, err := exp.RunForkSuitePool(context.Background(), pool, params, names)
+			ctx, finishSpans := tel.traceContext("fork")
+			results, err := exp.RunForkSuitePool(ctx, pool, params, names)
 			if err != nil {
 				return err
 			}
@@ -384,7 +425,7 @@ func newForkCmd() *command {
 			for i := range results {
 				series = append(series, results[i].CoW.Series, results[i].OoW.Series)
 			}
-			return outs.write(ex, series, tl)
+			return outs.write(ex, series, tl, finishSpans())
 		},
 	}
 }
@@ -413,7 +454,8 @@ func newSpmvCmd() *command {
 				return err
 			}
 			defer outs.close()
-			results, err := exp.RunFigure10Pool(context.Background(), pool, *limit, *dense)
+			ctx, finishSpans := tel.traceContext("spmv")
+			results, err := exp.RunFigure10Pool(ctx, pool, *limit, *dense)
 			if err != nil {
 				return err
 			}
@@ -423,7 +465,7 @@ func newSpmvCmd() *command {
 			}
 			ex := sim.NewExport("spmv")
 			ex.Results = results
-			return outs.write(ex, nil, nil)
+			return outs.write(ex, nil, nil, finishSpans())
 		},
 	}
 }
@@ -451,7 +493,8 @@ func newLinesizeCmd() *command {
 				return err
 			}
 			defer outs.close()
-			results, err := exp.RunFigure11Pool(context.Background(), pool, *limit)
+			ctx, finishSpans := tel.traceContext("linesize")
+			results, err := exp.RunFigure11Pool(ctx, pool, *limit)
 			if err != nil {
 				return err
 			}
@@ -461,7 +504,7 @@ func newLinesizeCmd() *command {
 			}
 			ex := sim.NewExport("linesize")
 			ex.Results = results
-			return outs.write(ex, nil, nil)
+			return outs.write(ex, nil, nil, finishSpans())
 		},
 	}
 }
@@ -493,7 +536,8 @@ func newSweepCmd() *command {
 				return err
 			}
 			defer outs.close()
-			results, err := exp.RunSparsitySweepPool(context.Background(), pool, *points, *rows)
+			ctx, finishSpans := tel.traceContext("sweep")
+			results, err := exp.RunSparsitySweepPool(ctx, pool, *points, *rows)
 			if err != nil {
 				return err
 			}
@@ -503,7 +547,7 @@ func newSweepCmd() *command {
 			}
 			ex := sim.NewExport("sweep")
 			ex.Results = results
-			return outs.write(ex, nil, nil)
+			return outs.write(ex, nil, nil, finishSpans())
 		},
 	}
 }
@@ -527,7 +571,8 @@ func newDualcoreCmd() *command {
 				return err
 			}
 			defer outs.close()
-			results, err := exp.RunDualCorePool(context.Background(), pool)
+			ctx, finishSpans := tel.traceContext("dualcore")
+			results, err := exp.RunDualCorePool(ctx, pool)
 			if err != nil {
 				return err
 			}
@@ -537,7 +582,7 @@ func newDualcoreCmd() *command {
 			}
 			ex := sim.NewExport("dualcore")
 			ex.Results = results
-			return outs.write(ex, nil, nil)
+			return outs.write(ex, nil, nil, finishSpans())
 		},
 	}
 }
@@ -678,7 +723,8 @@ func newStatsCmd() *command {
 				SeriesEpoch:         sim.Cycle(tel.epoch),
 				Trace:               tl,
 			}
-			out, ex, err := exp.RunStatsExport(spec, cfg, params, *overlay)
+			ctx, finishSpans := tel.traceContext("stats")
+			out, ex, err := exp.RunStatsExport(ctx, spec, cfg, params, *overlay)
 			if err != nil {
 				return err
 			}
@@ -690,7 +736,7 @@ func newStatsCmd() *command {
 			if r, ok := ex.Results.(exp.MechanismResult); ok && r.Series != nil {
 				series = append(series, r.Series)
 			}
-			return outs.write(ex, series, tl)
+			return outs.write(ex, series, tl, finishSpans())
 		},
 	}
 }

@@ -296,3 +296,88 @@ func TestStatsCSV(t *testing.T) {
 		t.Errorf("csv has no data rows")
 	}
 }
+
+// TestSpansOutputAndMergedTrace runs a quick fork through -spans and
+// -tracelog and validates both artefacts: the span JSONL carries the
+// cli.fork → harness.job → fork.warmup/fork.measure hierarchy with one
+// shared trace ID, and the Chrome document contains simulator instant
+// events alongside pid-0 span records.
+func TestSpansOutputAndMergedTrace(t *testing.T) {
+	dir := t.TempDir()
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	tracePath := filepath.Join(dir, "merged.trace.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"fork", "-bench=hmmer", "-warm=20000", "-measure=50000",
+		"-spans=" + spansPath, "-tracelog=" + tracePath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fork exited %d, stderr: %s", code, stderr.String())
+	}
+
+	raw, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	traceIDs := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var sp struct {
+			TraceID string `json:"trace_id"`
+			SpanID  string `json:"span_id"`
+			Name    string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("span line %q: %v", line, err)
+		}
+		if sp.SpanID == "" {
+			t.Fatalf("span line lacks span_id: %s", line)
+		}
+		names[sp.Name]++
+		traceIDs[sp.TraceID] = true
+	}
+	if len(traceIDs) != 1 {
+		t.Errorf("spans carry %d distinct trace IDs, want 1", len(traceIDs))
+	}
+	for _, want := range []string{"cli.fork", "harness.job", "fork.warmup", "fork.measure"} {
+		if names[want] == 0 {
+			t.Errorf("span log lacks %q spans: %v", want, names)
+		}
+	}
+	// One benchmark, two mechanisms: a warmup+measure pair per mechanism.
+	if names["fork.warmup"] != 2 || names["fork.measure"] != 2 {
+		t.Errorf("phase span counts = %v, want 2 warmup + 2 measure", names)
+	}
+
+	traw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  float64 `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traw, &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	simEvents, spanEvents := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "i":
+			simEvents++
+		case "X":
+			spanEvents++
+			if ev.Pid != 0 {
+				t.Errorf("span record %q at pid %v, want 0", ev.Name, ev.Pid)
+			}
+		}
+	}
+	if simEvents == 0 || spanEvents == 0 {
+		t.Errorf("merged trace has %d sim events + %d span events, want both > 0",
+			simEvents, spanEvents)
+	}
+}

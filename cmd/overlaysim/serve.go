@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -31,6 +33,9 @@ func newServeCmd() *command {
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock cap (0 = unbounded)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
 	cacheSize := fs.Int("cache", 128, "result cache entries (negative disables caching)")
+	logFormat := fs.String("log-format", "json", "structured log format: json or text")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	notrace := fs.Bool("no-trace", false, "disable per-job span tracing")
 	return &command{
 		name:    "serve",
 		summary: "serve experiment jobs over HTTP (wire protocol: docs/API.md)",
@@ -49,11 +54,20 @@ func newServeCmd() *command {
 			if *grace <= 0 {
 				return usageError(fmt.Sprintf("invalid -grace %s: must be > 0", *grace))
 			}
+			if *logFormat != "json" && *logFormat != "text" {
+				return usageError(fmt.Sprintf("invalid -log-format %q: json or text", *logFormat))
+			}
+			level, ok := obs.ParseLevel(*logLevel)
+			if !ok {
+				return usageError(fmt.Sprintf("invalid -log-level %q: debug, info, warn or error", *logLevel))
+			}
 			cfg := server.Config{
-				Workers:    *workers,
-				QueueDepth: *queue,
-				JobTimeout: *jobTimeout,
-				CacheSize:  *cacheSize,
+				Workers:        *workers,
+				QueueDepth:     *queue,
+				JobTimeout:     *jobTimeout,
+				CacheSize:      *cacheSize,
+				Logger:         obs.NewLogger(stderr, *logFormat, level),
+				DisableTracing: *notrace,
 			}
 			return serve(*addr, cfg, *grace, stdout, stderr)
 		},
@@ -69,6 +83,11 @@ func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr i
 	if err != nil {
 		return usageError(fmt.Sprintf("invalid -addr: %v", err))
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NewLogger(stderr, "json", slog.LevelInfo)
+		cfg.Logger = logger
+	}
 	srv := server.New(cfg)
 	hs := &http.Server{Handler: srv.Handler()}
 
@@ -77,6 +96,7 @@ func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr i
 	defer stopSignals()
 
 	fmt.Fprintf(stdout, "overlaysim serve: listening on http://%s\n", ln.Addr())
+	logger.Info("overlaysim serve: listening", "addr", ln.Addr().String())
 	if serveReady != nil {
 		serveReady <- ln.Addr().String()
 	}
@@ -94,7 +114,7 @@ func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr i
 	// process instead of waiting out the grace period.
 	stopSignals()
 
-	fmt.Fprintf(stderr, "overlaysim serve: shutting down, draining jobs for up to %s\n", grace)
+	logger.Info("overlaysim serve: shutting down, draining jobs", "grace", grace.String())
 	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	drainErr := srv.Drain(graceCtx)
@@ -107,7 +127,9 @@ func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr i
 		drainErr = err
 	}
 	if drainErr == nil {
-		fmt.Fprintln(stderr, "overlaysim serve: drained cleanly")
+		logger.Info("overlaysim serve: drained cleanly")
+	} else {
+		logger.Error("overlaysim serve: drain failed", "err", drainErr.Error())
 	}
 	return drainErr
 }

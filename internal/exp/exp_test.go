@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestForkBenchmarkShapes(t *testing.T) {
 	// relationships must hold even in a short window.
 	params := QuickForkParams()
 
-	type1, err := RunForkBenchmark(mustSpec(t, "hmmer"), params)
+	type1, err := RunForkBenchmark(context.Background(), mustSpec(t, "hmmer"), params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestForkBenchmarkShapes(t *testing.T) {
 		t.Errorf("type1 CoW added %d bytes, expected tiny", type1.CoW.AddedBytes)
 	}
 
-	type2, err := RunForkBenchmark(mustSpec(t, "lbm"), params)
+	type2, err := RunForkBenchmark(context.Background(), mustSpec(t, "lbm"), params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestForkBenchmarkShapes(t *testing.T) {
 		t.Errorf("type2 spread speedup = %.2f, want > 1", type2.Speedup())
 	}
 
-	type3, err := RunForkBenchmark(mustSpec(t, "mcf"), params)
+	type3, err := RunForkBenchmark(context.Background(), mustSpec(t, "mcf"), params)
 	if err != nil {
 		t.Fatal(err)
 	}

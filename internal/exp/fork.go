@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -104,15 +105,28 @@ func mechName(overlayMode bool) string {
 }
 
 // runMechanism executes one benchmark under one fork mechanism.
-func runMechanism(spec workload.Spec, params ForkParams, overlayMode bool) (MechanismResult, error) {
+func runMechanism(ctx context.Context, spec workload.Spec, params ForkParams, overlayMode bool) (MechanismResult, error) {
 	cfg := core.DefaultConfig()
 	// Footprint + room for COW copies + generous OMS headroom.
 	cfg.MemoryPages = spec.Pages*2 + 16384
-	return runMechanismCfg(spec, cfg, params, overlayMode)
+	return runMechanismCfg(ctx, spec, cfg, params, overlayMode)
+}
+
+// phaseSpan opens one experiment-phase span ("fork.warmup",
+// "fork.measure") as a child of whatever span the context carries —
+// under a served job that is the worker's harness.job span. Nil-safe
+// and free when tracing is disabled.
+func phaseSpan(ctx context.Context, name string, spec workload.Spec, overlayMode bool) *obs.Span {
+	_, span := obs.StartSpan(ctx, name)
+	if span != nil {
+		span.SetAttr("bench", spec.Name)
+		span.SetAttr("mechanism", mechName(overlayMode))
+	}
+	return span
 }
 
 // runMechanismCfg is runMechanism with an explicit framework config.
-func runMechanismCfg(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (MechanismResult, error) {
+func runMechanismCfg(ctx context.Context, spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (MechanismResult, error) {
 	f, err := core.New(cfg)
 	if err != nil {
 		return MechanismResult{}, err
@@ -129,9 +143,11 @@ func runMechanismCfg(spec workload.Spec, cfg core.Config, params ForkParams, ove
 	c := cpu.New(f.Engine, port, proc.PID, spec.NewTrace())
 
 	// Warm-up: run the pre-fork region of the benchmark.
+	warm := phaseSpan(ctx, "fork.warmup", spec, overlayMode)
 	warmDone := false
 	c.Run(params.WarmInstructions, func() { warmDone = true })
 	f.Engine.Run()
+	warm.End()
 	if !warmDone {
 		return MechanismResult{}, fmt.Errorf("exp: warm-up never finished")
 	}
@@ -149,10 +165,12 @@ func runMechanismCfg(spec workload.Spec, cfg core.Config, params ForkParams, ove
 		params.SeriesEpoch, forkSeriesCounters...)
 	f.Engine.Attach(series)
 
+	measure := phaseSpan(ctx, "fork.measure", spec, overlayMode)
 	measureDone := false
 	c.Run(params.MeasureInstructions, func() { measureDone = true })
 	f.Engine.Run()
 	f.Engine.CloseSeries(series)
+	measure.End()
 	if !measureDone {
 		return MechanismResult{}, fmt.Errorf("exp: measurement never finished")
 	}
@@ -177,13 +195,15 @@ func runMechanismCfg(spec workload.Spec, cfg core.Config, params ForkParams, ove
 	}, nil
 }
 
-// RunForkBenchmark measures one benchmark under both mechanisms.
-func RunForkBenchmark(spec workload.Spec, params ForkParams) (ForkResult, error) {
-	cow, err := runMechanism(spec, params, false)
+// RunForkBenchmark measures one benchmark under both mechanisms. The
+// context carries cancellation plus the optional obs tracer/logger;
+// phase spans (fork.warmup, fork.measure) nest under its active span.
+func RunForkBenchmark(ctx context.Context, spec workload.Spec, params ForkParams) (ForkResult, error) {
+	cow, err := runMechanism(ctx, spec, params, false)
 	if err != nil {
 		return ForkResult{}, fmt.Errorf("%s/cow: %w", spec.Name, err)
 	}
-	oow, err := runMechanism(spec, params, true)
+	oow, err := runMechanism(ctx, spec, params, true)
 	if err != nil {
 		return ForkResult{}, fmt.Errorf("%s/oow: %w", spec.Name, err)
 	}
@@ -219,8 +239,10 @@ func RunForkSuitePool(ctx context.Context, pool Pool, params ForkParams, names [
 		pool.Parallel = 1
 	}
 	return harness.Map(ctx, pool.opts("fork"), specs,
-		func(_ context.Context, s workload.Spec, _ int) (ForkResult, error) {
-			return RunForkBenchmark(s, params)
+		func(jobCtx context.Context, s workload.Spec, _ int) (ForkResult, error) {
+			// jobCtx carries the worker's harness.job span, so the
+			// per-mechanism phase spans nest under it.
+			return RunForkBenchmark(jobCtx, s, params)
 		})
 }
 
@@ -240,15 +262,15 @@ func RunForkCPI(spec workload.Spec, cfg core.Config, params ForkParams, overlayM
 // RunWithStats runs one benchmark under one mechanism with the given
 // config and returns the engine's full counter dump (debug/CLI aid).
 func RunWithStats(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (string, error) {
-	out, _, err := RunStatsExport(spec, cfg, params, overlayMode)
+	out, _, err := RunStatsExport(context.Background(), spec, cfg, params, overlayMode)
 	return out, err
 }
 
 // RunStatsExport runs one benchmark under one mechanism and returns both
 // the printable counter dump and the machine-readable export (counters,
 // histograms, post-fork series; plus the trace if params.Trace is set).
-func RunStatsExport(spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (string, *sim.Export, error) {
-	r, err := runMechanismCfg(spec, cfg, params, overlayMode)
+func RunStatsExport(ctx context.Context, spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (string, *sim.Export, error) {
+	r, err := runMechanismCfg(ctx, spec, cfg, params, overlayMode)
 	if err != nil {
 		return "", nil, err
 	}

@@ -21,8 +21,11 @@ import (
 	"io"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Job is one independent unit of work. A job must not share mutable
@@ -139,6 +142,10 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 }
 
 // runJob executes one job with panic recovery and the per-job timeout.
+// When the context carries an obs tracer the execution is wrapped in a
+// "harness.job" span (the job sees the span's context, so experiment
+// phases nest under it), and failures are reported through the
+// context's structured logger.
 func runJob[T any](ctx context.Context, opts Options, index int, job Job[T]) (res Result[T]) {
 	res.Index = index
 	if opts.Timeout > 0 {
@@ -146,11 +153,24 @@ func runJob[T any](ctx context.Context, opts Options, index int, job Job[T]) (re
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	ctx, span := obs.StartSpan(ctx, "harness.job")
+	if span != nil {
+		if opts.Label != "" {
+			span.SetAttr("label", opts.Label)
+		}
+		span.SetAttr("index", strconv.Itoa(index))
+	}
 	start := time.Now()
 	defer func() {
 		res.Wall = time.Since(start)
 		if r := recover(); r != nil {
 			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		span.End()
+		if res.Err != nil {
+			obs.Log(ctx).Error("harness job failed",
+				"label", opts.Label, "index", index,
+				"wall_ms", res.Wall.Milliseconds(), "err", res.Err.Error())
 		}
 	}()
 	res.Value, res.Err = job(ctx)

@@ -1,11 +1,14 @@
 package harness
 
 import (
+	"log/slog"
+
 	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"repro/internal/obs"
 	"strings"
 	"sync"
 	"testing"
@@ -292,5 +295,70 @@ func TestMapError(t *testing.T) {
 		})
 	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "job 2") {
 		t.Fatalf("err = %v, want lowest-index (job 2) failure", err)
+	}
+}
+
+// TestJobSpansAndErrorLogging proves runJob wraps every job in a
+// harness.job span (whose context the job inherits) and reports
+// failures through the context's structured logger.
+func TestJobSpansAndErrorLogging(t *testing.T) {
+	tr := obs.NewTracer(obs.TraceID{}, 64)
+	var logBuf bytes.Buffer
+	ctx := obs.WithLogger(obs.NewContext(context.Background(), tr),
+		obs.NewLogger(&logBuf, "json", slog.LevelInfo))
+
+	results := Run(ctx, Options{Parallel: 2, Label: "fork"}, []Job[int]{
+		func(jobCtx context.Context) (int, error) {
+			if obs.SpanFromContext(jobCtx) == nil {
+				t.Error("job context lacks the harness.job span")
+			}
+			return 1, nil
+		},
+		func(context.Context) (int, error) { return 0, errors.New("boom") },
+	})
+	if results[0].Err != nil || results[1].Err == nil {
+		t.Fatalf("results = %+v", results)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	byIndex := map[string]obs.Span{}
+	for _, sp := range spans {
+		if sp.Name != "harness.job" {
+			t.Fatalf("span name = %q", sp.Name)
+		}
+		attrs := map[string]string{}
+		for _, a := range sp.Attrs {
+			attrs[a.Key] = a.Value
+		}
+		if attrs["label"] != "fork" {
+			t.Errorf("span attrs = %v, want label=fork", attrs)
+		}
+		byIndex[attrs["index"]] = sp
+	}
+	if _, ok := byIndex["0"]; !ok {
+		t.Errorf("no span for job 0: %v", byIndex)
+	}
+	if !strings.Contains(logBuf.String(), `"msg":"harness job failed"`) ||
+		!strings.Contains(logBuf.String(), `"err":"boom"`) {
+		t.Errorf("failure not logged: %s", logBuf.String())
+	}
+}
+
+// TestJobSpansDisabledAreFree proves the span guard costs nothing when
+// the context carries no tracer.
+func TestJobSpansDisabledAreFree(t *testing.T) {
+	res := Run(context.Background(), Options{Parallel: 1}, []Job[int]{
+		func(jobCtx context.Context) (int, error) {
+			if obs.SpanFromContext(jobCtx) != nil {
+				t.Error("span appeared without a tracer")
+			}
+			return 7, nil
+		},
+	})
+	if res[0].Err != nil || res[0].Value != 7 {
+		t.Fatalf("result = %+v", res[0])
 	}
 }

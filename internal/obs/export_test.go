@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTrace fabricates job → (queue.wait, run → harness.job) with
+// deterministic timing.
+func buildTrace(t *testing.T) (*Tracer, []Span) {
+	t.Helper()
+	tr := NewTracer(TraceID{}, 16)
+	base := time.Now()
+	root := tr.StartSpan(SpanContext{}, "job")
+	root.Start = base
+	qs := tr.StartSpan(root.Context(), "queue.wait")
+	qs.Start = base
+	run := tr.StartSpan(root.Context(), "run")
+	run.Start = base.Add(5 * time.Millisecond)
+	hj := tr.StartSpan(run.Context(), "harness.job")
+	hj.Start = base.Add(6 * time.Millisecond)
+	hj.SetAttr("label", "fork")
+	for _, sp := range []*Span{qs, hj, run, root} {
+		sp.End()
+	}
+	return tr, tr.Spans()
+}
+
+func TestBuildTreeNesting(t *testing.T) {
+	_, spans := buildTrace(t)
+	roots := BuildTree(spans)
+	if len(roots) != 1 || roots[0].Name != "job" {
+		t.Fatalf("roots = %+v, want single job root", roots)
+	}
+	job := roots[0]
+	if len(job.Children) != 2 {
+		t.Fatalf("job has %d children, want 2 (queue.wait, run)", len(job.Children))
+	}
+	// Siblings ordered by start offset: queue.wait (0) before run (5ms).
+	if job.Children[0].Name != "queue.wait" || job.Children[1].Name != "run" {
+		t.Fatalf("children = %q, %q", job.Children[0].Name, job.Children[1].Name)
+	}
+	run := job.Children[1]
+	if run.StartUS != 5000 {
+		t.Fatalf("run start offset = %dµs, want 5000", run.StartUS)
+	}
+	if len(run.Children) != 1 || run.Children[0].Name != "harness.job" {
+		t.Fatalf("run children = %+v", run.Children)
+	}
+	if run.Children[0].Attrs["label"] != "fork" {
+		t.Fatalf("harness.job attrs = %+v", run.Children[0].Attrs)
+	}
+	if job.Children[0].ParentID != job.SpanID {
+		t.Fatalf("queue.wait parent_span_id = %q, want %q",
+			job.Children[0].ParentID, job.SpanID)
+	}
+}
+
+func TestBuildTreeOrphansBecomeRoots(t *testing.T) {
+	tr := NewTracer(TraceID{}, 8)
+	// Parent of a remote span that is not in the set.
+	remote := SpanContext{TraceID: tr.TraceID(), SpanID: NewSpanID()}
+	tr.StartSpan(remote, "job").End()
+	roots := BuildTree(tr.Spans())
+	if len(roots) != 1 || roots[0].Name != "job" {
+		t.Fatalf("remote-parented span did not surface as a root: %+v", roots)
+	}
+	if roots[0].ParentID != remote.SpanID.String() {
+		t.Fatalf("root keeps parent_span_id = %q, want remote %s",
+			roots[0].ParentID, remote.SpanID)
+	}
+	if BuildTree(nil) != nil {
+		t.Fatalf("BuildTree(nil) != nil")
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	tr, spans := buildTrace(t)
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, spans); err != nil {
+		t.Fatalf("WriteSpansJSONL: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var names []string
+	for sc.Scan() {
+		var line struct {
+			TraceID string `json:"trace_id"`
+			SpanID  string `json:"span_id"`
+			Name    string `json:"name"`
+			DurUS   *int64 `json:"dur_us"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if line.TraceID != tr.TraceID().String() || line.SpanID == "" || line.DurUS == nil {
+			t.Fatalf("line %q lacks ids/duration", sc.Text())
+		}
+		names = append(names, line.Name)
+	}
+	if len(names) != 4 {
+		t.Fatalf("wrote %d lines, want 4 (%v)", len(names), names)
+	}
+}
+
+func TestChromeRecords(t *testing.T) {
+	_, spans := buildTrace(t)
+	records, err := ChromeRecords(spans)
+	if err != nil {
+		t.Fatalf("ChromeRecords: %v", err)
+	}
+	if len(records) != len(spans)+1 { // +1 metadata record
+		t.Fatalf("got %d records, want %d", len(records), len(spans)+1)
+	}
+	var meta struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal(records[0], &meta); err != nil ||
+		meta.Name != "process_name" || meta.Ph != "M" {
+		t.Fatalf("first record is not process_name metadata: %s", records[0])
+	}
+	for _, raw := range records[1:] {
+		var ev struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   *int64 `json:"ts"`
+			Dur  *int64 `json:"dur"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("record %s: %v", raw, err)
+		}
+		if ev.Ph != "X" || ev.Ts == nil || ev.Dur == nil {
+			t.Fatalf("record %s is not a complete event", raw)
+		}
+		if strings.Contains(ev.Name, "\n") {
+			t.Fatalf("unescaped name in %s", raw)
+		}
+	}
+	if rs, err := ChromeRecords(nil); rs != nil || err != nil {
+		t.Fatalf("ChromeRecords(nil) = %v, %v", rs, err)
+	}
+}

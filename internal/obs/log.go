@@ -1,0 +1,72 @@
+package obs
+
+// Structured logging built on log/slog. Every layer logs through a
+// *slog.Logger carried in the context; the serving layer and the CLI
+// install JSON or text handlers with the trace/span/job IDs attached,
+// so one grep over the log stream follows one job end to end. A
+// context without a logger yields Nop(), whose handler is disabled at
+// every level — instrumented code logs unconditionally and costs
+// almost nothing when nobody is listening.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a leveled slog logger writing to w. format selects
+// the handler: "json" (the service default — one object per line) or
+// "text" (slog's key=value form, for humans).
+func NewLogger(w io.Writer, format string, level slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "text" {
+		return slog.New(slog.NewTextHandler(w, opts))
+	}
+	return slog.New(slog.NewJSONHandler(w, opts))
+}
+
+// ParseLevel maps a -log-level flag value to a slog level. Unknown
+// strings report ok=false.
+func ParseLevel(s string) (slog.Level, bool) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return slog.LevelInfo, false
+}
+
+// nopHandler drops every record.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+var nop = slog.New(nopHandler{})
+
+// Nop returns a logger whose handler is disabled at every level.
+func Nop() *slog.Logger { return nop }
+
+// WithLogger installs l as the context's logger. A nil l returns ctx
+// unchanged.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Log returns the context's logger, or Nop() when none is installed.
+func Log(ctx context.Context) *slog.Logger {
+	if l, _ := ctx.Value(loggerKey).(*slog.Logger); l != nil {
+		return l
+	}
+	return nop
+}

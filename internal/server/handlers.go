@@ -1,14 +1,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -20,25 +23,86 @@ const maxSpecBytes = 1 << 20
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	return countRequests(s, mux)
+	return instrument(s, mux)
 }
 
 // Handler is the method form of the package-level Handler.
 func (s *Server) Handler() http.Handler { return Handler(s) }
 
-// countRequests bumps the request counter around every route.
-func countRequests(s *Server, next http.Handler) http.Handler {
+// statusWriter captures the response status for the request middleware.
+// It forwards Flush so SSE streaming keeps working through the wrap.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestIDKey carries the request's ID through the handler context.
+type requestIDKey struct{}
+
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// instrument wraps every route: it assigns (or adopts) the request ID,
+// echoes it as X-Request-ID, counts the request and its response
+// status — every status, labelled by code, satisfying the error-path
+// accounting — and logs one structured record per request.
+func instrument(s *Server, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewSpanID().String()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
 		s.addStat("server.http_requests", 1)
-		next.ServeHTTP(w, r)
+		ctx := contextWithRequestID(r.Context(), reqID)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.statsMu.Lock()
+		s.statusCounts[sw.status]++
+		s.statsMu.Unlock()
+		s.cfg.Logger.Info("http request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"request_id", reqID, "dur_ms", time.Since(start).Milliseconds())
 	})
+}
+
+func contextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
 }
 
 // errorBody is every non-2xx JSON response.
@@ -65,25 +129,73 @@ func writeError(w http.ResponseWriter, status int, err error, jobID string) {
 	writeJSON(w, status, body)
 }
 
+// healthDoc reports the process's live state: queue occupancy, job
+// counts by phase, and whether a drain has begun.
+type healthDoc struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	Draining      bool   `json:"draining"`
+}
+
+func (s *Server) health() healthDoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := healthDoc{
+		Status:        "ok",
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Draining:      s.draining,
+	}
+	if s.draining {
+		d.Status = "draining"
+	}
+	for _, j := range s.order {
+		switch j.state {
+		case StateQueued:
+			d.Queued++
+		case StateRunning:
+			d.Running++
+		}
+	}
+	return d
+}
+
+// handleHealth is liveness: always 200 while the process can answer,
+// with the drain state and queue occupancy in the body. Readiness —
+// "send me traffic" — is /readyz, which flips to 503 during drain.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReady is readiness: 503 once Drain begins (new submissions
+// are already being refused), 200 otherwise.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	doc := s.health()
+	if doc.Draining {
+		writeJSON(w, http.StatusServiceUnavailable, doc)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleSubmit accepts a JSON job spec. With ?wait=true the response
 // is deferred until the job reaches a terminal state (200); otherwise
 // an accepted job answers 202 immediately. Cache hits always answer
-// 200 with the completed job document.
+// 200 with the completed job document. A valid `traceparent` request
+// header is adopted as the job trace's ID (the job's root span becomes
+// a child of the client's span); the response echoes the job's own
+// trace position in the same header.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := exp.ParseJobSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err, "")
 		return
 	}
-	j, status, err := s.submit(spec)
+	remote, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	j, status, err := s.submit(spec, requestID(r), remote)
 	if err != nil {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After",
@@ -95,6 +207,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, err, jobID)
 		return
+	}
+	if sc := j.span.Context(); sc.Valid() {
+		w.Header().Set("traceparent", sc.Traceparent())
 	}
 	if status == http.StatusAccepted && wantWait(r) {
 		select {
@@ -172,6 +287,50 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(result) //nolint:errcheck
 }
 
+// TraceDoc is the wire form of a job's span trace: identifiers plus
+// the recorded spans nested by parentage (see docs/OBSERVABILITY.md).
+type TraceDoc struct {
+	JobID     string          `json:"job_id"`
+	TraceID   string          `json:"trace_id"`
+	RequestID string          `json:"request_id,omitempty"`
+	State     string          `json:"state"`
+	Dropped   uint64          `json:"dropped_spans,omitempty"`
+	Spans     []*obs.SpanNode `json:"spans"`
+}
+
+// handleTrace serves the job's span tree. Running jobs answer with the
+// spans recorded so far (the still-open root appears once the job
+// finishes); disabled tracing answers 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	doc := TraceDoc{
+		JobID:     j.id,
+		TraceID:   j.traceID(),
+		RequestID: j.requestID,
+		State:     j.state,
+	}
+	var spans []obs.Span
+	if j.tracer != nil {
+		spans = j.liveSpans()
+		doc.Dropped = j.tracer.Dropped()
+	}
+	s.mu.Unlock()
+	if j.tracer == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("tracing is disabled; job %s carries no trace", j.id), j.id)
+		return
+	}
+	doc.Spans = obs.BuildTree(spans)
+	if doc.Spans == nil {
+		doc.Spans = []*obs.SpanNode{}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, err := s.cancelJob(r.PathValue("id"))
 	if errors.Is(err, errNoSuchJob) {
@@ -218,6 +377,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}()
 
+	// Progress payloads carry the job's identifiers so a stream
+	// consumer can correlate events with log records and the trace.
+	type progressPayload struct {
+		ProgressEvent
+		JobID     string `json:"job_id"`
+		TraceID   string `json:"trace_id,omitempty"`
+		RequestID string `json:"request_id,omitempty"`
+	}
+
 	var sent ProgressEvent
 	sentAny := false
 	for {
@@ -233,7 +401,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 
 		if hasProg && (!sentAny || prog != sent) {
-			if err := writeSSE(w, "progress", prog); err != nil {
+			payload := progressPayload{
+				ProgressEvent: prog, JobID: j.id,
+				TraceID: j.traceID(), RequestID: j.requestID,
+			}
+			if err := writeSSE(w, "progress", payload); err != nil {
 				return
 			}
 			sent, sentAny = prog, true
@@ -276,5 +448,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cap(s.queue))
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
+	if len(s.statusCounts) > 0 {
+		const m = "overlaysim_server_http_responses_total"
+		fmt.Fprintf(w, "# HELP %s HTTP responses by status code\n# TYPE %s counter\n", m, m)
+		codes := make([]int, 0, len(s.statusCounts))
+		for code := range s.statusCounts {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "%s{code=\"%s\"} %d\n",
+				m, sim.PromEscapeLabel(strconv.Itoa(code)), s.statusCounts[code])
+		}
+	}
 	sim.WritePrometheus(w, "overlaysim_", s.stats) //nolint:errcheck // client gone
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 // Job states. A job moves queued → running → one terminal state;
@@ -31,9 +32,10 @@ type ProgressEvent struct {
 // job is the server-side record of one submission. All fields after
 // the immutable header are guarded by the Server's mutex.
 type job struct {
-	id   string
-	spec exp.JobSpec
-	key  string
+	id        string
+	spec      exp.JobSpec
+	key       string
+	requestID string
 
 	state     string
 	cached    bool
@@ -45,14 +47,65 @@ type job struct {
 	hasProg   bool
 	result    []byte // rendered sim.Export JSON, exactly as the CLI's -json writes it
 
+	// tracer records the job's spans; span is the root "job" span and
+	// queueSpan the submit→dequeue wait. spans/dropped snapshot the
+	// trace at the terminal transition (nil until then). All nil when
+	// tracing is disabled — every obs operation on them no-ops.
+	tracer    *obs.Tracer
+	span      *obs.Span
+	queueSpan *obs.Span
+	spans     []obs.Span
+	dropped   uint64
+
 	cancel context.CancelFunc
 	subs   map[chan struct{}]struct{} // SSE subscribers (signal channels, cap 1)
 	done   chan struct{}              // closed exactly once on terminal transition
 }
 
+// traceID renders the job's trace ID, "" when tracing is disabled.
+func (j *job) traceID() string {
+	if j.tracer == nil {
+		return ""
+	}
+	return j.tracer.TraceID().String()
+}
+
+// endTrace closes any still-open lifecycle spans and snapshots the
+// trace; it runs exactly once, at the job's terminal transition.
+// Span.End is idempotent, so spans already closed on the happy path
+// (queue.wait at dequeue, run/encode in runJob) are unaffected.
+// Caller holds the Server mutex.
+func (j *job) endTrace() {
+	if j.tracer == nil {
+		return
+	}
+	j.queueSpan.End()
+	j.span.End()
+	j.spans = j.tracer.Spans()
+	j.dropped = j.tracer.Dropped()
+}
+
+// liveSpans snapshots the recorded spans: the terminal snapshot when
+// the job is finished, the tracer's current contents while it runs.
+// Caller holds the Server mutex.
+func (j *job) liveSpans() []obs.Span {
+	if j.spans != nil {
+		return j.spans
+	}
+	return j.tracer.Spans()
+}
+
 // terminal reports whether the job reached a final state.
 func (j *job) terminal() bool {
 	return j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+}
+
+// SpanSummary is one completed span in a job document: name plus
+// timing, offsets in microseconds from the trace's first span.
+type SpanSummary struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
 }
 
 // JobDoc is the wire representation of a job (see docs/API.md).
@@ -63,10 +116,13 @@ type JobDoc struct {
 	Spec        exp.JobSpec     `json:"spec"`
 	Key         string          `json:"key"`
 	Error       string          `json:"error,omitempty"`
+	TraceID     string          `json:"trace_id,omitempty"`
+	RequestID   string          `json:"request_id,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at"`
 	StartedAt   *time.Time      `json:"started_at,omitempty"`
 	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
 	Progress    *ProgressEvent  `json:"progress,omitempty"`
+	Spans       []SpanSummary   `json:"spans,omitempty"` // terminal jobs only
 	Result      json.RawMessage `json:"result,omitempty"`
 }
 
@@ -81,7 +137,25 @@ func (j *job) doc(withResult bool) JobDoc {
 		Spec:        j.spec,
 		Key:         j.key,
 		Error:       j.errMsg,
+		TraceID:     j.traceID(),
+		RequestID:   j.requestID,
 		SubmittedAt: j.submitted,
+	}
+	if len(j.spans) > 0 {
+		base := j.spans[0].Start
+		for _, sp := range j.spans {
+			if sp.Start.Before(base) {
+				base = sp.Start
+			}
+		}
+		d.Spans = make([]SpanSummary, len(j.spans))
+		for i, sp := range j.spans {
+			d.Spans[i] = SpanSummary{
+				Name:    sp.Name,
+				StartUS: sp.Start.Sub(base).Microseconds(),
+				DurUS:   sp.Dur.Microseconds(),
+			}
+		}
 	}
 	if !j.started.IsZero() {
 		t := j.started

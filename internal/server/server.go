@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -47,6 +49,18 @@ type Config struct {
 
 	// Runner overrides job execution (nil = exp.JobSpec.Run).
 	Runner Runner
+
+	// Logger receives structured log records for submissions, job
+	// lifecycle transitions and HTTP requests (nil = records are
+	// discarded).
+	Logger *slog.Logger
+
+	// TraceCap bounds each job's span buffer in spans (0 = 512).
+	TraceCap int
+
+	// DisableTracing turns per-job span recording off; jobs then carry
+	// no trace and GET /v1/jobs/{id}/trace answers 404.
+	DisableTracing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +81,12 @@ func (c Config) withDefaults() Config {
 			return spec.Run(ctx, pool)
 		}
 	}
+	if c.Logger == nil {
+		c.Logger = obs.Nop()
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 512
+	}
 	return c
 }
 
@@ -79,9 +99,12 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	// statsMu guards the telemetry registry; sim.Stats itself is not
-	// concurrency-safe.
-	statsMu sync.Mutex
-	stats   *sim.Stats
+	// concurrency-safe. statusCounts rides under the same lock: the
+	// registry has no labelled counters, so HTTP response statuses are
+	// kept aside and rendered as one {code="NNN"}-labelled series.
+	statsMu      sync.Mutex
+	stats        *sim.Stats
+	statusCounts map[int]uint64
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -100,14 +123,15 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		stats:      &sim.Stats{},
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
-		cache:      newResultCache(cfg.CacheSize),
-		queue:      make(chan *job, cfg.QueueDepth),
+		cfg:          cfg,
+		baseCtx:      ctx,
+		baseCancel:   cancel,
+		stats:        &sim.Stats{},
+		statusCounts: make(map[int]uint64),
+		jobs:         make(map[string]*job),
+		inflight:     make(map[string]*job),
+		cache:        newResultCache(cfg.CacheSize),
+		queue:        make(chan *job, cfg.QueueDepth),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -135,11 +159,13 @@ func (s *Server) observe(name string, v uint64) {
 	s.statsMu.Unlock()
 }
 
-// submit registers a new job or replies out of cache. It returns the
-// job (possibly an already-terminal cache-backed record), a suggested
-// HTTP status, and an error for rejections (full queue, draining,
-// duplicate in flight).
-func (s *Server) submit(spec exp.JobSpec) (*job, int, error) {
+// submit registers a new job or replies out of cache. requestID tags
+// the job with the submitting request; remote, when valid, is the
+// client's traceparent, adopted as the job trace's ID and root parent.
+// It returns the job (possibly an already-terminal cache-backed
+// record), a suggested HTTP status, and an error for rejections (full
+// queue, draining, duplicate in flight).
+func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanContext) (*job, int, error) {
 	key := spec.Key()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -150,13 +176,19 @@ func (s *Server) submit(spec exp.JobSpec) (*job, int, error) {
 	}
 	if result, ok := s.cache.get(key); ok {
 		s.addStat("server.cache_hits", 1)
-		j := s.newJobLocked(spec, key)
+		j := s.newJobLocked(spec, key, requestID)
+		s.startTrace(j, remote)
+		j.span.SetAttr("cache", "hit")
 		now := time.Now()
 		j.state = StateDone
 		j.cached = true
 		j.started, j.finished = now, now
 		j.result = result
+		j.endTrace()
 		close(j.done)
+		s.cfg.Logger.Info("job served from cache",
+			"job_id", j.id, "trace_id", j.traceID(), "request_id", requestID,
+			"experiment", spec.Experiment)
 		return j, 200, nil
 	}
 	s.addStat("server.cache_misses", 1)
@@ -164,7 +196,7 @@ func (s *Server) submit(spec exp.JobSpec) (*job, int, error) {
 		return dup, 409, fmt.Errorf("an identical job is already in flight as %s", dup.id)
 	}
 
-	j := s.newJobLocked(spec, key)
+	j := s.newJobLocked(spec, key, requestID)
 	select {
 	case s.queue <- j:
 	default:
@@ -175,17 +207,40 @@ func (s *Server) submit(spec exp.JobSpec) (*job, int, error) {
 		s.addStat("server.queue_rejections", 1)
 		return nil, 429, fmt.Errorf("job queue is full (%d waiting)", cap(s.queue))
 	}
+	s.startTrace(j, remote)
+	j.span.SetAttr("cache", "miss")
+	j.queueSpan = j.tracer.StartSpan(j.span.Context(), "queue.wait")
 	s.inflight[key] = j
+	s.cfg.Logger.Info("job accepted",
+		"job_id", j.id, "trace_id", j.traceID(), "request_id", requestID,
+		"experiment", spec.Experiment, "queue_depth", len(s.queue))
 	return j, 202, nil
 }
 
+// startTrace equips a freshly registered job with its tracer and root
+// "job" span. With tracing disabled the job simply carries no tracer
+// and every span operation no-ops.
+func (s *Server) startTrace(j *job, remote obs.SpanContext) {
+	if s.cfg.DisableTracing {
+		return
+	}
+	j.tracer = obs.NewTracer(remote.TraceID, s.cfg.TraceCap)
+	j.span = j.tracer.StartSpan(remote, "job")
+	j.span.SetAttr("job_id", j.id)
+	j.span.SetAttr("experiment", j.spec.Experiment)
+	if j.requestID != "" {
+		j.span.SetAttr("request_id", j.requestID)
+	}
+}
+
 // newJobLocked allocates and registers a queued job record.
-func (s *Server) newJobLocked(spec exp.JobSpec, key string) *job {
+func (s *Server) newJobLocked(spec exp.JobSpec, key, requestID string) *job {
 	s.seq++
 	j := &job{
 		id:        jobID(s.seq),
 		spec:      spec,
 		key:       key,
+		requestID: requestID,
 		state:     StateQueued,
 		submitted: time.Now(),
 		subs:      make(map[chan struct{}]struct{}),
@@ -208,6 +263,7 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.queueSpan.End() // dequeue closes the queue-wait span
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
 	j.notifySubs()
@@ -217,6 +273,20 @@ func (s *Server) runJob(j *job) {
 
 	s.addStat("server.engine_runs", 1)
 	s.observe("server.queue_wait_ms", uint64(queueWait.Milliseconds()))
+
+	// The runner's context carries the job trace and a job-scoped
+	// logger, so harness.job spans and experiment phase spans nest
+	// under this "run" span and every log record downstream is tagged
+	// with the job's identifiers.
+	logger := s.cfg.Logger.With(
+		"job_id", j.id, "trace_id", j.traceID(), "request_id", j.requestID)
+	runSpan := j.tracer.StartSpan(j.span.Context(), "run")
+	ctx = obs.WithLogger(ctx, logger)
+	if j.tracer != nil {
+		ctx = obs.NewContext(ctx, j.tracer)
+		ctx = obs.ContextWithSpan(ctx, runSpan)
+	}
+	logger.Info("job dequeued", "queue_wait_ms", queueWait.Milliseconds())
 
 	pool := exp.Pool{
 		Parallel: 1, // overridden by the spec's parallel field when set
@@ -233,15 +303,18 @@ func (s *Server) runJob(j *job) {
 			return s.cfg.Runner(ctx, j.spec, pool)
 		}})
 	out, err := results[0].Value, results[0].Err
+	runSpan.End()
 
 	var rendered []byte
 	if err == nil && out != nil && out.Export != nil {
+		encSpan := j.tracer.StartSpan(j.span.Context(), "encode")
 		var buf bytes.Buffer
 		if werr := out.Export.WriteJSON(&buf); werr != nil {
 			err = fmt.Errorf("rendering result: %w", werr)
 		} else {
 			rendered = buf.Bytes()
 		}
+		encSpan.End()
 	} else if err == nil {
 		err = errors.New("runner returned no result")
 	}
@@ -263,18 +336,23 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 	}
 	state := j.state
+	j.endTrace()
 	close(j.done)
 	j.notifySubs()
 	s.mu.Unlock()
 
 	s.observe("server.job_wall_ms", uint64(j.finished.Sub(j.started).Milliseconds()))
+	wallMS := j.finished.Sub(j.started).Milliseconds()
 	switch state {
 	case StateDone:
 		s.addStat("server.jobs_completed", 1)
+		logger.Info("job finished", "state", state, "wall_ms", wallMS)
 	case StateCancelled:
 		s.addStat("server.jobs_cancelled", 1)
+		logger.Info("job finished", "state", state, "wall_ms", wallMS)
 	default:
 		s.addStat("server.jobs_failed", 1)
+		logger.Error("job failed", "wall_ms", wallMS, "err", err.Error())
 	}
 	if err == nil && out.Stats != nil {
 		s.statsMu.Lock()
@@ -299,6 +377,7 @@ func (s *Server) cancelJob(id string) (*job, error) {
 		j.errMsg = context.Canceled.Error()
 		j.finished = time.Now()
 		delete(s.inflight, j.key)
+		j.endTrace()
 		close(j.done)
 		j.notifySubs()
 		s.addStat("server.jobs_cancelled", 1)
@@ -353,6 +432,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			j.errMsg = context.Canceled.Error()
 			j.finished = time.Now()
 			delete(s.inflight, j.key)
+			j.endTrace()
 			close(j.done)
 			j.notifySubs()
 			forced++

@@ -446,8 +446,13 @@ func TestDrainClean(t *testing.T) {
 	if err := s.Drain(ctx); err != nil {
 		t.Fatalf("clean drain returned %v", err)
 	}
-	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while drained: status = %d, want 503", code)
+	// Liveness stays 200 through the drain; readiness flips to 503.
+	if code, body := getBody(t, ts.URL+"/healthz"); code != http.StatusOK ||
+		!strings.Contains(string(body), `"draining": true`) {
+		t.Fatalf("healthz while drained: status = %d body %s, want 200 + draining", code, body)
+	}
+	if code, _ := getBody(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while drained: status = %d, want 503", code)
 	}
 	if status, _, _ := postSpec(t, ts, sweepSpec(88), false); status != http.StatusServiceUnavailable {
 		t.Fatalf("submit while drained: status = %d, want 503", status)

@@ -88,21 +88,82 @@ func writePromHistogram(w io.Writer, metric, name string, h *Histogram) error {
 	return err
 }
 
-// PromSample is one parsed exposition sample: the metric name, its
-// label string (le value for histogram buckets, "" otherwise) and the
-// sample value.
+// PromEscapeLabel escapes a label value for the exposition format:
+// backslash, double quote and newline become \\, \" and \n. Writers
+// emitting labelled samples (the server's status-labelled response
+// counters) must escape through here so ParsePrometheus — and any real
+// Prometheus scraper — can read the value back.
+func PromEscapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// promUnescapeLabel reverses PromEscapeLabel. A dangling or unknown
+// escape is an error.
+func promUnescapeLabel(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling escape in label value %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in label value %q", s[i], s)
+		}
+	}
+	return sb.String(), nil
+}
+
+// PromSample is one parsed exposition sample: the metric name, at most
+// one label (name + unescaped value), and the sample value. Le is the
+// label value when the label is "le" — the histogram-bucket form most
+// callers care about — and "" otherwise.
 type PromSample struct {
-	Name  string
-	Le    string
-	Value float64
+	Name     string
+	Label    string // label name, "" for bare samples
+	LabelVal string // unescaped label value
+	Le       string
+	Value    float64
 }
 
 // ParsePrometheus is a minimal exposition-format parser covering what
-// WritePrometheus emits (and what the CI smoke test scrapes): # HELP /
-// # TYPE comments, bare samples, and single le-labelled histogram
-// bucket samples. It returns the samples in input order together with
-// the declared TYPE per metric, and rejects structurally malformed
-// lines — tests use it to prove /metrics is valid, not merely present.
+// this package's writers emit (and what the CI smoke test scrapes):
+// # HELP / # TYPE comments, bare samples, and single-labelled samples
+// (histogram le buckets, the server's status-labelled counters) with
+// escaped label values. It returns the samples in input order together
+// with the declared TYPE per metric, and rejects structurally
+// malformed lines — tests use it to prove /metrics is valid, not
+// merely present.
 func ParsePrometheus(r io.Reader) (samples []PromSample, types map[string]string, err error) {
 	types = make(map[string]string)
 	sc := bufio.NewScanner(r)
@@ -126,14 +187,14 @@ func ParsePrometheus(r io.Reader) (samples []PromSample, types map[string]string
 			return nil, nil, fmt.Errorf("prometheus: line %d: no value: %q", lineNo, line)
 		}
 		name, valStr := line[:sp], line[sp+1:]
-		var le string
+		var label, labelVal string
 		if i := strings.IndexByte(name, '{'); i >= 0 {
-			labels := name[i:]
-			name = name[:i]
-			if !strings.HasPrefix(labels, `{le="`) || !strings.HasSuffix(labels, `"}`) {
-				return nil, nil, fmt.Errorf("prometheus: line %d: unsupported labels %q", lineNo, labels)
+			var perr error
+			label, labelVal, perr = parsePromLabel(name[i:])
+			if perr != nil {
+				return nil, nil, fmt.Errorf("prometheus: line %d: %v", lineNo, perr)
 			}
-			le = strings.TrimSuffix(strings.TrimPrefix(labels, `{le="`), `"}`)
+			name = name[:i]
 		}
 		if name == "" || strings.ContainsAny(name, " \t") {
 			return nil, nil, fmt.Errorf("prometheus: line %d: bad metric name %q", lineNo, name)
@@ -142,12 +203,47 @@ func ParsePrometheus(r io.Reader) (samples []PromSample, types map[string]string
 		if perr != nil {
 			return nil, nil, fmt.Errorf("prometheus: line %d: %v", lineNo, perr)
 		}
-		samples = append(samples, PromSample{Name: name, Le: le, Value: v})
+		s := PromSample{Name: name, Label: label, LabelVal: labelVal, Value: v}
+		if label == "le" {
+			s.Le = labelVal
+		}
+		samples = append(samples, s)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
 	}
 	return samples, types, nil
+}
+
+// parsePromLabel parses a single-label set `{name="value"}` with
+// escaped value characters.
+func parsePromLabel(s string) (label, value string, err error) {
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, `"}`) {
+		return "", "", fmt.Errorf("unsupported labels %q", s)
+	}
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+		return "", "", fmt.Errorf("unsupported labels %q", s)
+	}
+	label = s[1:eq]
+	if label == "" || strings.ContainsAny(label, ` "{}`) {
+		return "", "", fmt.Errorf("bad label name in %q", s)
+	}
+	raw := s[eq+2 : len(s)-2]
+	// The closing quote found by the suffix check must not itself be
+	// escaped: count the trailing backslashes before it.
+	bs := 0
+	for i := len(raw) - 1; i >= 0 && raw[i] == '\\'; i-- {
+		bs++
+	}
+	if bs%2 == 1 {
+		return "", "", fmt.Errorf("unterminated label value in %q", s)
+	}
+	value, err = promUnescapeLabel(raw)
+	if err != nil {
+		return "", "", err
+	}
+	return label, value, nil
 }
 
 func parsePromValue(s string) (float64, error) {

@@ -100,10 +100,12 @@ type chromeTrace struct {
 	TraceEvents []json.RawMessage `json:"traceEvents"`
 }
 
-// WriteChrome renders the retained events as Chrome trace_event JSON:
-// one instant event ("ph":"i") per simulator event with the cycle count
-// as the timestamp, plus process_name metadata naming each track.
-func (t *TraceLog) WriteChrome(w io.Writer) error {
+// ChromeRecords renders the retained events as Chrome trace_event
+// records: one instant event ("ph":"i") per simulator event with the
+// cycle count as the timestamp, plus process_name metadata naming each
+// track (tracks are numbered from 1; pid 0 is reserved for host-side
+// span records merged in by the CLI).
+func (t *TraceLog) ChromeRecords() ([]json.RawMessage, error) {
 	var records []json.RawMessage
 	for i, name := range t.tracks {
 		meta := map[string]interface{}{
@@ -115,7 +117,7 @@ func (t *TraceLog) WriteChrome(w io.Writer) error {
 		}
 		raw, err := json.Marshal(meta)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		records = append(records, raw)
 	}
@@ -137,11 +139,32 @@ func (t *TraceLog) WriteChrome(w io.Writer) error {
 		}
 		raw, err := json.Marshal(ce)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		records = append(records, raw)
+	}
+	return records, nil
+}
+
+// WriteChromeTrace bundles any number of record sets — the simulator
+// ring's ChromeRecords, obs span records, … — into one Chrome
+// trace_event JSON document loadable in chrome://tracing and Perfetto.
+func WriteChromeTrace(w io.Writer, recordSets ...[]json.RawMessage) error {
+	var records []json.RawMessage
+	for _, set := range recordSets {
+		records = append(records, set...)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(chromeTrace{TraceEvents: records})
+}
+
+// WriteChrome renders the retained events as a standalone Chrome
+// trace_event JSON document (ChromeRecords + WriteChromeTrace).
+func (t *TraceLog) WriteChrome(w io.Writer) error {
+	records, err := t.ChromeRecords()
+	if err != nil {
+		return err
+	}
+	return WriteChromeTrace(w, records)
 }

@@ -58,6 +58,42 @@ func TestTraceLogTracks(t *testing.T) {
 	}
 }
 
+// TestWriteChromeTraceMergesRecordSets bundles the ring's records with
+// a foreign record set (the CLI merges obs span records this way) and
+// checks the result is one well-formed document containing both.
+func TestWriteChromeTraceMergesRecordSets(t *testing.T) {
+	tl := NewTraceLog(8)
+	tl.BeginTrack("run")
+	tl.Emit(42, "cat", "sim-event")
+	simRecords, err := tl.ChromeRecords()
+	if err != nil {
+		t.Fatalf("ChromeRecords: %v", err)
+	}
+	foreign := []json.RawMessage{
+		json.RawMessage(`{"name":"host-span","ph":"X","ts":0,"dur":7,"pid":0,"tid":0}`),
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, simRecords, foreign); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + instant + foreign span
+		t.Fatalf("got %d trace events, want 3", len(doc.TraceEvents))
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev["name"].(string)] = true
+	}
+	if !names["sim-event"] || !names["host-span"] {
+		t.Fatalf("merged document lacks records from both sets: %v", names)
+	}
+}
+
 // TestGoldenChromeTrace locks the Chrome trace_event rendering against a
 // golden file so the output stays loadable in chrome://tracing and
 // Perfetto. Regenerate with: go test ./internal/sim -run TestGolden -update
