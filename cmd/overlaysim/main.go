@@ -212,6 +212,12 @@ func parsePool(parallel int, stderr io.Writer) (exp.Pool, error) {
 	return exp.Pool{Parallel: parallel, Progress: stderr}, nil
 }
 
+// addColdFlag registers the shared -cold flag on experiments with a
+// warm-state snapshot path.
+func addColdFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("cold", false, "disable warm-state snapshot reuse (results are bit-identical either way)")
+}
+
 // telemetryFlags is the flag group shared by every measuring subcommand.
 type telemetryFlags struct {
 	jsonPath  string
@@ -382,6 +388,7 @@ func newForkCmd() *command {
 	measure := fs.Uint64("measure", exp.DefaultForkParams().MeasureInstructions, "instructions measured after the fork")
 	bench := fs.String("bench", "", "run a single benchmark (default: all 15)")
 	parallel := addParallelFlag(fs)
+	cold := addColdFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "fork",
@@ -393,6 +400,9 @@ func newForkCmd() *command {
 			if err != nil {
 				return err
 			}
+			pool.Cold = *cold
+			snap := &exp.SnapshotStats{}
+			pool.Snap = snap
 			outs, err := tel.open()
 			if err != nil {
 				return err
@@ -421,6 +431,7 @@ func newForkCmd() *command {
 				return nil
 			}
 			ex := exp.ForkExport(params, results)
+			snap.Provenance().AttachCounters(ex)
 			var series []*sim.Series
 			for i := range results {
 				series = append(series, results[i].CoW.Series, results[i].OoW.Series)
@@ -435,6 +446,7 @@ func newSpmvCmd() *command {
 	limit := fs.Int("matrices", 0, "number of suite matrices to run (0 = all 87)")
 	dense := fs.Bool("dense", false, "also run the dense baseline")
 	parallel := addParallelFlag(fs)
+	cold := addColdFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "spmv",
@@ -454,6 +466,9 @@ func newSpmvCmd() *command {
 				return err
 			}
 			defer outs.close()
+			pool.Cold = *cold
+			snap := &exp.SnapshotStats{}
+			pool.Snap = snap
 			ctx, finishSpans := tel.traceContext("spmv")
 			results, err := exp.RunFigure10Pool(ctx, pool, *limit, *dense)
 			if err != nil {
@@ -465,6 +480,7 @@ func newSpmvCmd() *command {
 			}
 			ex := sim.NewExport("spmv")
 			ex.Results = results
+			snap.Provenance().AttachCounters(ex)
 			return outs.write(ex, nil, nil, finishSpans())
 		},
 	}
@@ -474,6 +490,7 @@ func newLinesizeCmd() *command {
 	fs := flag.NewFlagSet("linesize", flag.ContinueOnError)
 	limit := fs.Int("matrices", 0, "number of suite matrices (0 = all 87)")
 	parallel := addParallelFlag(fs)
+	cold := addColdFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "linesize",
@@ -493,6 +510,10 @@ func newLinesizeCmd() *command {
 				return err
 			}
 			defer outs.close()
+			// linesize is purely analytic today (a degenerate family with
+			// nothing to warm), but it accepts -cold so the flag surface
+			// matches the job-spec table.
+			pool.Cold = *cold
 			ctx, finishSpans := tel.traceContext("linesize")
 			results, err := exp.RunFigure11Pool(ctx, pool, *limit)
 			if err != nil {
@@ -514,6 +535,7 @@ func newSweepCmd() *command {
 	points := fs.Int("points", 11, "sparsity levels between 0%% and 100%%")
 	rows := fs.Int("rows", 256, "matrix dimension")
 	parallel := addParallelFlag(fs)
+	cold := addColdFlag(fs)
 	tel := addTelemetryFlags(fs)
 	return &command{
 		name:    "sweep",
@@ -536,6 +558,9 @@ func newSweepCmd() *command {
 				return err
 			}
 			defer outs.close()
+			pool.Cold = *cold
+			snap := &exp.SnapshotStats{}
+			pool.Snap = snap
 			ctx, finishSpans := tel.traceContext("sweep")
 			results, err := exp.RunSparsitySweepPool(ctx, pool, *points, *rows)
 			if err != nil {
@@ -547,6 +572,7 @@ func newSweepCmd() *command {
 			}
 			ex := sim.NewExport("sweep")
 			ex.Results = results
+			snap.Provenance().AttachCounters(ex)
 			return outs.write(ex, nil, nil, finishSpans())
 		},
 	}

@@ -33,6 +33,7 @@ func newServeCmd() *command {
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock cap (0 = unbounded)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
 	cacheSize := fs.Int("cache", 128, "result cache entries (negative disables caching)")
+	snapCache := fs.Int("snapshot-cache", 32, "warm-state snapshot cache families (negative disables warm-state reuse)")
 	logFormat := fs.String("log-format", "json", "structured log format: json or text")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	notrace := fs.Bool("no-trace", false, "disable per-job span tracing")
@@ -62,12 +63,13 @@ func newServeCmd() *command {
 				return usageError(fmt.Sprintf("invalid -log-level %q: debug, info, warn or error", *logLevel))
 			}
 			cfg := server.Config{
-				Workers:        *workers,
-				QueueDepth:     *queue,
-				JobTimeout:     *jobTimeout,
-				CacheSize:      *cacheSize,
-				Logger:         obs.NewLogger(stderr, *logFormat, level),
-				DisableTracing: *notrace,
+				Workers:           *workers,
+				QueueDepth:        *queue,
+				JobTimeout:        *jobTimeout,
+				CacheSize:         *cacheSize,
+				SnapshotCacheSize: *snapCache,
+				Logger:            obs.NewLogger(stderr, *logFormat, level),
+				DisableTracing:    *notrace,
 			}
 			return serve(*addr, cfg, *grace, stdout, stderr)
 		},

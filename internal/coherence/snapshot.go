@@ -1,0 +1,50 @@
+package coherence
+
+import "repro/internal/cache"
+
+// Snapshot support: at a quiescence point the directory has no in-flight
+// transactions (the busy map drains with the event queue), so the
+// capture is the per-page directory/state tables plus each core's L1
+// tag+replacement state.
+
+// Snapshot is an immutable capture of a drained coherent domain.
+type Snapshot struct {
+	pages map[uint64]*pageCoh
+	l1    []*cache.Snapshot
+}
+
+// Snapshot captures the directory and private caches. It panics if any
+// line transaction is still in flight — snapshots are only taken after
+// the engine drains.
+func (d *Domain) Snapshot() *Snapshot {
+	if len(d.busy) != 0 {
+		panic("coherence: snapshot with in-flight transactions")
+	}
+	s := &Snapshot{pages: make(map[uint64]*pageCoh, len(d.pages))}
+	for pn, pc := range d.pages {
+		c := &pageCoh{dir: pc.dir, st: append([]State(nil), pc.st...)}
+		s.pages[pn] = c
+	}
+	for _, l1 := range d.l1 {
+		s.l1 = append(s.l1, l1.Snapshot())
+	}
+	return s
+}
+
+// Restore loads the captured directory and cache state into this
+// domain, which must have the same core count. The snapshot's page
+// tables are deep-copied again so several forks can restore from one
+// snapshot independently.
+func (d *Domain) Restore(s *Snapshot) {
+	if len(s.l1) != len(d.l1) {
+		panic("coherence: restore core-count mismatch")
+	}
+	d.pages = make(map[uint64]*pageCoh, len(s.pages))
+	for pn, pc := range s.pages {
+		d.pages[pn] = &pageCoh{dir: pc.dir, st: append([]State(nil), pc.st...)}
+	}
+	d.lastPN, d.lastPC = 0, nil
+	for i, l1 := range d.l1 {
+		l1.Restore(s.l1[i])
+	}
+}

@@ -142,18 +142,26 @@ type ovlReq struct {
 func New(cfg Config) (*Framework, error) {
 	engine := sim.NewEngine()
 	memory := mem.New(cfg.MemoryPages)
-	manager := vm.NewManager(memory)
 	store, err := oms.New(memory, &engine.Stats, cfg.OMSInitialFrames)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return assemble(cfg, engine, memory, store, &omt.Table{}), nil
+}
+
+// assemble wires a framework around pre-built bottom components. New
+// feeds it fresh ones; NewFromSnapshot feeds it components rebuilt from
+// a capture (the restore happens after wiring, so every stats handle
+// bound here stays live).
+func assemble(cfg Config, engine *sim.Engine, memory *mem.Memory, store *oms.Store, table *omt.Table) *Framework {
+	manager := vm.NewManager(memory)
 	f := &Framework{
 		Engine:   engine,
 		Config:   cfg,
 		Mem:      memory,
 		VM:       manager,
 		OMS:      store,
-		OMTTable: &omt.Table{},
+		OMTTable: table,
 	}
 	f.OMTCache = omt.NewCache(cfg.OMTCache, f.OMTTable, &engine.Stats)
 	f.DRAM = dram.New(engine, cfg.DRAM)
@@ -208,7 +216,7 @@ func New(cfg Config) (*Framework, error) {
 		}
 		f.DRAM.Write(target, nil)
 	}
-	return f, nil
+	return f
 }
 
 // newAccess claims a slab slot for an in-flight port access. The returned

@@ -68,6 +68,7 @@ type Core struct {
 	window    [WindowSize]slot
 	head      uint64 // dispatch number of the window's oldest slot
 	tail      uint64 // dispatch number of the next slot to fill
+	fetched   uint64 // trace records consumed over the core's lifetime
 	retired   uint64
 	limit     uint64
 	started   sim.Cycle
@@ -135,6 +136,11 @@ func (c *Core) Run(limit uint64, onDone func()) {
 // Retired returns instructions retired in the current/last run.
 func (c *Core) Retired() uint64 { return c.retired }
 
+// Fetched returns the number of trace records consumed over the core's
+// lifetime. A forked core replays this many records of a fresh trace to
+// reposition it before restoring window state.
+func (c *Core) Fetched() uint64 { return c.fetched }
+
 // Cycles returns the cycles consumed by the last completed run.
 func (c *Core) Cycles() sim.Cycle { return c.finished - c.started }
 
@@ -178,6 +184,7 @@ func (c *Core) tick() {
 		if !ok {
 			c.exhausted = true
 		} else {
+			c.fetched++
 			c.dispatch(instr)
 		}
 	}

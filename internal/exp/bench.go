@@ -97,6 +97,12 @@ type BenchExperiment struct {
 	ParWallMS float64           `json:"par_wall_ms"` // harness at report Parallel
 	Speedup   float64           `json:"speedup"`     // SeqWallMS / ParWallMS
 	Metrics   map[string]uint64 `json:"metrics"`     // simulated, machine-independent
+
+	// Snapshot records the experiment's warm-state reuse (from the
+	// parallel phase; the sequential phase reuses identically). Absent
+	// for experiments with no snapshot path. Like the wall-clock
+	// fields, the warmup_ms_saved component is host-dependent.
+	Snapshot *SnapshotProvenance `json:"snapshot,omitempty"`
 }
 
 // BenchReport is the machine-readable bench baseline. Metrics are
@@ -105,11 +111,12 @@ type BenchExperiment struct {
 // host-dependent and only compared against baselines recorded on
 // comparable hardware.
 type BenchReport struct {
-	Parallel    int               `json:"parallel"`
-	SeqWallMS   float64           `json:"seq_wall_ms"`
-	ParWallMS   float64           `json:"par_wall_ms"`
-	Speedup     float64           `json:"speedup"`
-	Experiments []BenchExperiment `json:"experiments"`
+	Parallel    int                `json:"parallel"`
+	SeqWallMS   float64            `json:"seq_wall_ms"`
+	ParWallMS   float64            `json:"par_wall_ms"`
+	Speedup     float64            `json:"speedup"`
+	Snapshot    SnapshotProvenance `json:"snapshot"` // summed across experiments
+	Experiments []BenchExperiment  `json:"experiments"`
 }
 
 // benchCase is one experiment of the matrix: run executes it over the
@@ -229,8 +236,9 @@ func RunBench(ctx context.Context, plan BenchPlan, parallel int, progress io.Wri
 		}
 		seqWall := time.Since(seqStart)
 
+		parSnap := &SnapshotStats{}
 		parStart := time.Now()
-		par, err := c.run(ctx, Pool{Parallel: parallel, Progress: progress})
+		par, err := c.run(ctx, Pool{Parallel: parallel, Progress: progress, Snap: parSnap})
 		if err != nil {
 			return nil, fmt.Errorf("bench %s (parallel %d): %w", c.name, parallel, err)
 		}
@@ -249,6 +257,10 @@ func RunBench(ctx context.Context, plan BenchPlan, parallel int, progress io.Wri
 		}
 		if e.ParWallMS > 0 {
 			e.Speedup = e.SeqWallMS / e.ParWallMS
+		}
+		if prov := parSnap.Provenance(); !prov.Empty() {
+			e.Snapshot = &prov
+			report.Snapshot.accumulate(prov)
 		}
 		report.Experiments = append(report.Experiments, e)
 		report.SeqWallMS += e.SeqWallMS
@@ -376,4 +388,8 @@ func PrintBench(w io.Writer, r *BenchReport) {
 			e.Name, e.Jobs, e.SeqWallMS, e.ParWallMS, e.Speedup, len(e.Metrics))
 	}
 	fmt.Fprintf(w, "%-10s %6s %10.0fms %10.0fms %8.2fx\n", "total", "-", r.SeqWallMS, r.ParWallMS, r.Speedup)
+	if s := r.Snapshot; s.Forks > 0 {
+		fmt.Fprintf(w, "warm-state reuse: %d families, %d forks, %d warm-ups skipped, %.1f KB copied, ~%.0f ms warm-up saved\n",
+			s.Families, s.Forks, s.WarmupsReused, float64(s.BytesCopied)/1024, s.WarmupMSSaved)
+	}
 }

@@ -7,6 +7,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -125,7 +128,8 @@ func phaseSpan(ctx context.Context, name string, spec workload.Spec, overlayMode
 	return span
 }
 
-// runMechanismCfg is runMechanism with an explicit framework config.
+// runMechanismCfg is runMechanism with an explicit framework config:
+// the cold path — build, warm, fork, measure, all in one framework.
 func runMechanismCfg(ctx context.Context, spec workload.Spec, cfg core.Config, params ForkParams, overlayMode bool) (MechanismResult, error) {
 	f, err := core.New(cfg)
 	if err != nil {
@@ -151,7 +155,15 @@ func runMechanismCfg(ctx context.Context, spec workload.Spec, cfg core.Config, p
 	if !warmDone {
 		return MechanismResult{}, fmt.Errorf("exp: warm-up never finished")
 	}
+	return measureMechanism(ctx, spec, params, overlayMode, f, c, proc)
+}
 
+// measureMechanism forks the warmed process and measures the post-fork
+// region. It is shared by the cold path (the warming framework keeps
+// running) and the snapshot path (a fork resumed from a family
+// capture); both hand it a quiescent framework positioned exactly at
+// the fork point, so the measured region is bit-identical between them.
+func measureMechanism(ctx context.Context, spec workload.Spec, params ForkParams, overlayMode bool, f *core.Framework, c *cpu.Core, proc *vm.Process) (MechanismResult, error) {
 	// Checkpoint-style fork; the child idles (as in the paper's setup).
 	f.Fork(proc, overlayMode)
 	framesBase := f.Mem.AllocatedPages()
@@ -195,6 +207,109 @@ func runMechanismCfg(ctx context.Context, spec workload.Spec, cfg core.Config, p
 	}, nil
 }
 
+// forkFamily is one benchmark's warmed state: everything needed to
+// resume any number of measurement runs from the fork point without
+// re-running the warm-up. The capture is immutable; concurrent forks
+// share its memory pages copy-on-write.
+type forkFamily struct {
+	spec    workload.Spec
+	snap    *core.Snapshot
+	cpu     *cpu.Snapshot
+	fetched uint64 // trace records the warm-up consumed
+	pid     arch.PID
+	warmUS  uint64 // wall clock the warm-up cost (≈ saved per reuse)
+
+	// resumes counts forks taken from this family over its lifetime;
+	// every resume past the first skipped a warm-up that the cold path
+	// would have run.
+	resumes atomic.Uint64
+}
+
+// forkFamilyKey canonicalises the knobs that shape a fork family's warm
+// state (the benchmark and the warm window; the measured window does
+// not affect it), mirroring the job cache's canonical-spec discipline.
+func forkFamilyKey(spec workload.Spec, params ForkParams) string {
+	return fmt.Sprintf("fork/%s/warm=%d", spec.Name, params.WarmInstructions)
+}
+
+// warmForkFamily builds a framework, runs the shared pre-fork region
+// once, and captures the quiescent state ("fork.snapshot" span).
+func warmForkFamily(ctx context.Context, spec workload.Spec, params ForkParams) (*forkFamily, error) {
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = spec.Pages*2 + 16384
+	f, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	proc := f.VM.NewProcess()
+	if err := spec.MapFootprint(f, proc); err != nil {
+		return nil, err
+	}
+	port := f.NewPort()
+	c := cpu.New(f.Engine, port, proc.PID, spec.NewTrace())
+
+	warm := phaseSpan(ctx, "fork.warmup", spec, false)
+	if warm != nil {
+		warm.SetAttr("mechanism", "shared")
+	}
+	start := time.Now()
+	warmDone := false
+	c.Run(params.WarmInstructions, func() { warmDone = true })
+	f.Engine.Run()
+	warmUS := uint64(time.Since(start).Microseconds())
+	warm.End()
+	if !warmDone {
+		return nil, fmt.Errorf("exp: warm-up never finished")
+	}
+
+	snapSp := snapSpan(ctx, "fork.snapshot", forkFamilyKey(spec, params))
+	fam := &forkFamily{
+		spec:    spec,
+		snap:    f.Snapshot(),
+		cpu:     c.Snapshot(),
+		fetched: c.Fetched(),
+		pid:     proc.PID,
+		warmUS:  warmUS,
+	}
+	snapSp.End()
+	return fam, nil
+}
+
+// resumeMechanism rebuilds an independent framework from the family
+// capture ("fork.resume" span) and measures one mechanism from the
+// shared fork point.
+func resumeMechanism(ctx context.Context, pool Pool, fam *forkFamily, params ForkParams, overlayMode bool) (MechanismResult, error) {
+	resume := snapSpan(ctx, "fork.resume", forkFamilyKey(fam.spec, params))
+	if resume != nil {
+		resume.SetAttr("mechanism", mechName(overlayMode))
+	}
+	f := core.NewFromSnapshot(fam.snap)
+	// The workload trace wraps RNG state that cannot be captured;
+	// rebuild it and replay the records the warm-up consumed.
+	trace := fam.spec.NewTrace()
+	for i := uint64(0); i < fam.fetched; i++ {
+		if _, ok := trace.Next(); !ok {
+			resume.End()
+			return MechanismResult{}, fmt.Errorf("exp: trace exhausted during replay")
+		}
+	}
+	c := cpu.New(f.Engine, f.Port(0), fam.pid, trace)
+	c.Restore(fam.cpu)
+	proc, ok := f.VM.Process(fam.pid)
+	if !ok {
+		resume.End()
+		return MechanismResult{}, fmt.Errorf("exp: warmed process lost in snapshot")
+	}
+	resume.End()
+
+	r, err := measureMechanism(ctx, fam.spec, params, overlayMode, f, c, proc)
+	if err != nil {
+		return MechanismResult{}, err
+	}
+	pool.Snap.addFork(f.Mem.BytesCopied(), fam.resumes.Add(1) > 1, fam.warmUS)
+	return r, nil
+}
+
 // RunForkBenchmark measures one benchmark under both mechanisms. The
 // context carries cancellation plus the optional obs tracer/logger;
 // phase spans (fork.warmup, fork.measure) nest under its active span.
@@ -216,12 +331,19 @@ func RunForkSuite(params ForkParams, names []string) ([]ForkResult, error) {
 	return RunForkSuitePool(context.Background(), Pool{Parallel: 1}, params, names)
 }
 
-// RunForkSuitePool measures every benchmark (or the named subset),
-// fanning one job per benchmark across the pool. Each job owns a fresh
-// framework per mechanism, so results are bit-identical to the
-// sequential path at any worker count. A shared trace log cannot
+// RunForkSuitePool measures every benchmark (or the named subset).
+//
+// By default each benchmark's warm-up runs once: stage one fans the
+// per-benchmark family warm-ups across the pool and captures a
+// core.Snapshot at the fork point; stage two fans one fork per
+// (benchmark, mechanism), each resuming an independent framework from
+// its family's capture with copy-on-write memory. Results are
+// bit-identical to the cold path at any worker count (the fork point
+// is a quiescence point, so resuming reproduces the exact event
+// order); pool.Cold — or a trace log, which must observe whole runs —
+// falls back to one cold job per benchmark. A shared trace log cannot
 // record interleaved runs (tracks are sequential), so params.Trace
-// forces Parallel 1.
+// also forces Parallel 1.
 func RunForkSuitePool(ctx context.Context, pool Pool, params ForkParams, names []string) ([]ForkResult, error) {
 	var specs []workload.Spec
 	if len(names) == 0 {
@@ -238,12 +360,60 @@ func RunForkSuitePool(ctx context.Context, pool Pool, params ForkParams, names [
 	if params.Trace != nil {
 		pool.Parallel = 1
 	}
-	return harness.Map(ctx, pool.opts("fork"), specs,
-		func(jobCtx context.Context, s workload.Spec, _ int) (ForkResult, error) {
-			// jobCtx carries the worker's harness.job span, so the
-			// per-mechanism phase spans nest under it.
-			return RunForkBenchmark(jobCtx, s, params)
+	if pool.Cold || params.Trace != nil {
+		return harness.Map(ctx, pool.opts("fork"), specs,
+			func(jobCtx context.Context, s workload.Spec, _ int) (ForkResult, error) {
+				// jobCtx carries the worker's harness.job span, so the
+				// per-mechanism phase spans nest under it.
+				return RunForkBenchmark(jobCtx, s, params)
+			})
+	}
+
+	// Stage one: warm each benchmark family once (via the cross-run
+	// cache when the serving layer wires one).
+	families, err := harness.Map(ctx, pool.opts("fork.warm"), specs,
+		func(jobCtx context.Context, s workload.Spec, _ int) (*forkFamily, error) {
+			v, err := pool.Snapshots.getOrBuild(forkFamilyKey(s, params), func() (any, error) {
+				pool.Snap.addFamily()
+				return warmForkFamily(jobCtx, s, params)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/warm: %w", s.Name, err)
+			}
+			return v.(*forkFamily), nil
 		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage two: fork each family once per mechanism.
+	type forkJob struct {
+		fam     *forkFamily
+		overlay bool
+	}
+	var jobs []forkJob
+	for _, fam := range families {
+		jobs = append(jobs, forkJob{fam, false}, forkJob{fam, true})
+	}
+	mechs, err := harness.Map(ctx, pool.opts("fork"), jobs,
+		func(jobCtx context.Context, j forkJob, _ int) (MechanismResult, error) {
+			r, err := resumeMechanism(jobCtx, pool, j.fam, params, j.overlay)
+			if err != nil {
+				return MechanismResult{}, fmt.Errorf("%s/%s: %w", j.fam.spec.Name, mechName(j.overlay), err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]ForkResult, len(specs))
+	for i, s := range specs {
+		results[i] = ForkResult{
+			Benchmark: s.Name, Type: s.Type,
+			CoW: mechs[2*i], OoW: mechs[2*i+1],
+		}
+	}
+	return results, nil
 }
 
 // RunForkCPI runs one benchmark under one mechanism with a custom config

@@ -27,6 +27,23 @@ type Pool struct {
 	// totals (done, total, failed) — the serve layer streams these to
 	// clients as SSE events.
 	OnProgress harness.ProgressFunc
+
+	// Cold disables warm-state snapshot reuse: every simulation is
+	// built and warmed from scratch, as the runners did before the
+	// snapshot layer existed. Results are bit-identical either way (the
+	// CI equivalence gate diffs the two); Cold exists for that gate and
+	// for debugging.
+	Cold bool
+
+	// Snap, when non-nil, receives the run's warm-state reuse tallies
+	// (families built, forks resumed, bytes copied, warm-up time saved).
+	Snap *SnapshotStats
+
+	// Snapshots, when non-nil, caches family snapshots across runs —
+	// the serving layer wires one cache across jobs so repeated specs
+	// with a common configuration family skip the warm-up entirely.
+	// With a nil cache every run builds its own families.
+	Snapshots *SnapshotCache
 }
 
 // opts builds the harness options for one labelled sweep.

@@ -41,6 +41,11 @@ type JobSpec struct {
 	// worker count, so Parallel is excluded from the cache key.
 	Parallel int `json:"parallel,omitempty"`
 
+	// Cold disables warm-state snapshot reuse for this run. Like
+	// Parallel it is an execution hint only — results are bit-identical
+	// either way — so it too is excluded from the cache key.
+	Cold bool `json:"cold,omitempty"`
+
 	// Bench restricts a fork run to one benchmark (empty = all 15).
 	Bench string `json:"bench,omitempty"`
 
@@ -191,6 +196,7 @@ func (s JobSpec) Validate() error {
 		reject("dense", s.Dense)
 		reject("points", s.Points != 0)
 		reject("rows", s.Rows != 0)
+		reject("cold", s.Cold)
 	}
 
 	if s.Parallel < 0 {
@@ -221,6 +227,7 @@ func (s JobSpec) Validate() error {
 func (s JobSpec) CanonicalJSON() []byte {
 	c := s.Normalized()
 	c.Parallel = 0
+	c.Cold = false
 	b, err := json.Marshal(c)
 	if err != nil {
 		// JobSpec is a plain struct of marshalable fields; Marshal
@@ -274,6 +281,9 @@ func (s JobSpec) CLIArgs() []string {
 			args = append(args, fmt.Sprintf("-rows=%d", n.Rows))
 		}
 	}
+	if n.Cold && n.Experiment != "dualcore" {
+		args = append(args, "-cold")
+	}
 	if n.Parallel != 0 {
 		args = append(args, fmt.Sprintf("-parallel=%d", n.Parallel))
 	}
@@ -311,6 +321,9 @@ func SpecFromArgs(args []string) (JobSpec, error) {
 		return JobSpec{}, &ValidationError{Problems: []string{
 			fmt.Sprintf("unknown experiment %q", s.Experiment)}}
 	}
+	if s.Experiment != "dualcore" {
+		fs.BoolVar(&s.Cold, "cold", false, "")
+	}
 	fs.IntVar(&s.Parallel, "parallel", 0, "")
 	if err := fs.Parse(args[1:]); err != nil {
 		return JobSpec{}, &ValidationError{Problems: []string{err.Error()}}
@@ -338,6 +351,12 @@ func (s JobSpec) Run(ctx context.Context, pool Pool) (*JobOutput, error) {
 	n := s.Normalized()
 	if n.Parallel != 0 {
 		pool.Parallel = n.Parallel
+	}
+	if n.Cold {
+		pool.Cold = true
+	}
+	if pool.Snap == nil {
+		pool.Snap = &SnapshotStats{}
 	}
 	out := &JobOutput{}
 	switch n.Experiment {
@@ -396,6 +415,18 @@ func (s JobSpec) Run(ctx context.Context, pool Pool) (*JobOutput, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Warm-state reuse telemetry rides along outside the per-run
+	// registries (which stay bit-identical between cold and forked
+	// runs): the deterministic tallies go into the export's counter map
+	// — identically for a served job and a CLI -json run — and into the
+	// output registry the serving layer aggregates into /metrics.
+	if prov := pool.Snap.Provenance(); !prov.Empty() {
+		prov.AttachCounters(out.Export)
+		if out.Stats == nil {
+			out.Stats = &sim.Stats{}
+		}
+		prov.AttachStats(out.Stats)
 	}
 	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -55,6 +57,49 @@ func spmvConfig(denseBytes int) core.Config {
 	return cfg
 }
 
+// pristineFamily is a configuration family's framework capture taken
+// right after construction — the engine has never run, so the capture
+// is trivially quiescent. Forking it is bit-equivalent to building the
+// same config from scratch but far cheaper: the fork shares the zeroed
+// memory frames copy-on-write instead of re-allocating them.
+type pristineFamily struct {
+	snap   *core.Snapshot
+	warmUS uint64 // wall clock the build+capture cost (≈ saved per reuse)
+
+	// resumes counts forks taken from this family over its lifetime;
+	// every resume past the first skipped a framework build that the
+	// cold path would have run.
+	resumes atomic.Uint64
+}
+
+// warmPristineFamily builds one framework of the given config and
+// captures it ("fork.snapshot" span).
+func warmPristineFamily(ctx context.Context, key string, cfg core.Config) (*pristineFamily, error) {
+	start := time.Now()
+	f, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sp := snapSpan(ctx, "fork.snapshot", key)
+	fam := &pristineFamily{snap: f.Snapshot()}
+	sp.End()
+	fam.warmUS = uint64(time.Since(start).Microseconds())
+	return fam, nil
+}
+
+// fork resumes one framework from the family ("fork.resume" span). The
+// returned func tallies the pool's reuse stats; call it once the
+// simulation completes, when the copy-on-write byte count is final.
+func (fam *pristineFamily) fork(ctx context.Context, pool Pool, key string) (*core.Framework, func(*core.Framework)) {
+	sp := snapSpan(ctx, "fork.resume", key)
+	f := core.NewFromSnapshot(fam.snap)
+	sp.End()
+	done := func(f *core.Framework) {
+		pool.Snap.addFork(f.Mem.BytesCopied(), fam.resumes.Add(1) > 1, fam.warmUS)
+	}
+	return f, done
+}
+
 // simulateTrace runs one trace to completion on a fresh core and returns
 // the cycles it took.
 func simulateTrace(f *core.Framework, proc *vm.Process, trace cpu.Trace) (uint64, error) {
@@ -71,8 +116,22 @@ func simulateTrace(f *core.Framework, proc *vm.Process, trace cpu.Trace) (uint64
 
 // RunSpMV measures one matrix under the overlay and CSR representations
 // (and optionally the dense baseline), verifying along the way that all
-// representations compute the same product.
+// representations compute the same product. Every representation runs
+// on a framework built from scratch; RunFigure10Pool's default path
+// measures the same thing on frameworks forked from a shared pristine
+// capture.
 func RunSpMV(m *sparse.Matrix, withDense bool) (SpMVResult, error) {
+	return runSpMV(func() (*core.Framework, func(*core.Framework), error) {
+		f, err := core.New(spmvConfig(m.DenseBytes()))
+		return f, nil, err
+	}, m, withDense)
+}
+
+// runSpMV measures one matrix with each representation simulated on its
+// own framework drawn from newFramework. The optional func returned
+// alongside a framework is called after that representation's
+// simulation completes (the snapshot path tallies reuse stats there).
+func runSpMV(newFramework func() (*core.Framework, func(*core.Framework), error), m *sparse.Matrix, withDense bool) (SpMVResult, error) {
 	res := SpMVResult{Matrix: m.Name, L: m.L(), NNZ: m.NNZ(), IdealBytes: m.IdealBytes()}
 
 	// Functional cross-check.
@@ -84,7 +143,7 @@ func RunSpMV(m *sparse.Matrix, withDense bool) (SpMVResult, error) {
 
 	// Overlay representation.
 	{
-		f, err := core.New(spmvConfig(m.DenseBytes()))
+		f, done, err := newFramework()
 		if err != nil {
 			return res, err
 		}
@@ -110,6 +169,9 @@ func RunSpMV(m *sparse.Matrix, withDense bool) (SpMVResult, error) {
 		if err != nil {
 			return res, err
 		}
+		if done != nil {
+			done(f)
+		}
 	}
 
 	// CSR representation.
@@ -118,7 +180,7 @@ func RunSpMV(m *sparse.Matrix, withDense bool) (SpMVResult, error) {
 		if !vectorsEqual(want, c.Multiply(x)) {
 			return res, fmt.Errorf("exp: CSR SpMV result diverges for %s", m.Name)
 		}
-		f, err := core.New(spmvConfig(m.DenseBytes()))
+		f, done, err := newFramework()
 		if err != nil {
 			return res, err
 		}
@@ -132,10 +194,13 @@ func RunSpMV(m *sparse.Matrix, withDense bool) (SpMVResult, error) {
 		if err != nil {
 			return res, err
 		}
+		if done != nil {
+			done(f)
+		}
 	}
 
 	if withDense {
-		f, err := core.New(spmvConfig(m.DenseBytes()))
+		f, done, err := newFramework()
 		if err != nil {
 			return res, err
 		}
@@ -148,6 +213,9 @@ func RunSpMV(m *sparse.Matrix, withDense bool) (SpMVResult, error) {
 		res.DenseCycles, err = simulateTrace(f, proc, sparse.DenseTrace(m, layout))
 		if err != nil {
 			return res, err
+		}
+		if done != nil {
+			done(f)
 		}
 	}
 	return res, nil
@@ -175,10 +243,40 @@ func RunFigure10(limit int, withDense bool) ([]SpMVResult, error) {
 // RunFigure10Pool sweeps the matrix suite with one job per matrix
 // fanned across the pool; the result order (ascending L) is fixed by
 // the suite, not by completion order.
+//
+// By default every simulation forks its framework from a pristine
+// capture shared by all matrices of the same footprint (the whole suite
+// is one configuration family today: every matrix is 2048×2048), built
+// lazily by the first job to need it. Cycle counts are bit-identical to
+// the cold path; pool.Cold builds every framework from scratch instead.
 func RunFigure10Pool(ctx context.Context, pool Pool, limit int, withDense bool) ([]SpMVResult, error) {
-	return harness.Map(ctx, pool.opts("spmv"), suiteSubset(limit),
-		func(_ context.Context, m *sparse.Matrix, _ int) (SpMVResult, error) {
-			return RunSpMV(m, withDense)
+	ms := suiteSubset(limit)
+	if pool.Cold {
+		return harness.Map(ctx, pool.opts("spmv"), ms,
+			func(_ context.Context, m *sparse.Matrix, _ int) (SpMVResult, error) {
+				return RunSpMV(m, withDense)
+			})
+	}
+	snaps := pool.Snapshots
+	if snaps == nil {
+		snaps = NewSnapshotCache(8) // run-local: one entry per distinct footprint
+	}
+	return harness.Map(ctx, pool.opts("spmv"), ms,
+		func(jobCtx context.Context, m *sparse.Matrix, _ int) (SpMVResult, error) {
+			cfg := spmvConfig(m.DenseBytes())
+			key := fmt.Sprintf("spmv/pages=%d", cfg.MemoryPages)
+			v, err := snaps.getOrBuild(key, func() (any, error) {
+				pool.Snap.addFamily()
+				return warmPristineFamily(jobCtx, key, cfg)
+			})
+			if err != nil {
+				return SpMVResult{}, err
+			}
+			fam := v.(*pristineFamily)
+			return runSpMV(func() (*core.Framework, func(*core.Framework), error) {
+				f, done := fam.fork(jobCtx, pool, key)
+				return f, done, nil
+			}, m, withDense)
 		})
 }
 

@@ -31,6 +31,15 @@ type Memory struct {
 	freeList   []arch.PPN
 	allocated  []bool
 	allocCount int
+
+	// shared, when non-nil, is a bitmap over frames marking pages whose
+	// backing array is shared with a Snapshot (copy-on-write): the first
+	// materialising write to a shared frame copies it into a private
+	// array. Replacing the frame pointer (Alloc recycling, CopyPage of a
+	// zero source) only clears the bit — the shared array is never
+	// mutated, so concurrent forks of one snapshot stay independent.
+	shared      []uint64
+	bytesCopied uint64
 }
 
 // New creates a memory with capacity for totalPages physical frames.
@@ -68,6 +77,7 @@ func (m *Memory) Alloc() (arch.PPN, error) {
 		m.allocated[ppn] = true
 		m.allocCount++
 		m.frames[ppn] = nil // recycled frames read as zero again
+		m.clearShared(ppn)
 		return ppn, nil
 	}
 	if int(m.nextFree) >= m.totalPages {
@@ -101,11 +111,30 @@ func (m *Memory) Allocated(ppn arch.PPN) bool {
 
 func (m *Memory) frame(ppn arch.PPN, materialise bool) *[arch.PageSize]byte {
 	f := m.frames[ppn]
-	if f == nil && materialise {
+	if !materialise {
+		return f
+	}
+	if f == nil {
 		f = new([arch.PageSize]byte)
 		m.frames[ppn] = f
+		return f
+	}
+	if m.shared != nil && m.shared[ppn>>6]&(1<<(uint(ppn)&63)) != 0 {
+		// First write to a frame shared with a snapshot: copy on write.
+		c := new([arch.PageSize]byte)
+		*c = *f
+		m.frames[ppn] = c
+		m.shared[ppn>>6] &^= 1 << (uint(ppn) & 63)
+		m.bytesCopied += arch.PageSize
+		return c
 	}
 	return f
+}
+
+func (m *Memory) clearShared(ppn arch.PPN) {
+	if m.shared != nil {
+		m.shared[ppn>>6] &^= 1 << (uint(ppn) & 63)
+	}
 }
 
 // ReadLine copies cache line `line` of frame ppn into dst (64 bytes).
@@ -218,6 +247,7 @@ func (m *Memory) CopyPage(dst, src arch.PPN) {
 	sf := m.frame(src, false)
 	if sf == nil {
 		m.frames[dst] = nil // copying a zero frame: dst reads as zero
+		m.clearShared(dst)
 		return
 	}
 	df := m.frame(dst, true)

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestSnapshotForkSharesUntilWrite(t *testing.T) {
+	m := New(8)
+	ppn, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(ppn, 0, 0xAA)
+
+	snap := m.Snapshot()
+	fork := NewFromSnapshot(snap)
+
+	if got := fork.Read(ppn, 0); got != 0xAA {
+		t.Fatalf("fork reads %#x, want 0xAA", got)
+	}
+	if fork.BytesCopied() != 0 {
+		t.Fatalf("reading materialised %d bytes, want 0", fork.BytesCopied())
+	}
+	if fork.AllocatedPages() != m.AllocatedPages() || fork.TotalPages() != m.TotalPages() {
+		t.Fatal("fork allocator state diverges from parent")
+	}
+
+	// First write privatises exactly one frame; parent is untouched.
+	fork.Write(ppn, 1, 0xBB)
+	if fork.BytesCopied() != arch.PageSize {
+		t.Fatalf("BytesCopied = %d, want %d", fork.BytesCopied(), arch.PageSize)
+	}
+	if got := m.Read(ppn, 1); got != 0 {
+		t.Fatalf("fork write leaked into parent: %#x", got)
+	}
+	if got := fork.Read(ppn, 0); got != 0xAA {
+		t.Fatalf("privatised frame lost shared contents: %#x", got)
+	}
+
+	// Subsequent writes to the same frame copy nothing more.
+	fork.Write(ppn, 2, 0xCC)
+	if fork.BytesCopied() != arch.PageSize {
+		t.Fatalf("second write re-copied: BytesCopied = %d", fork.BytesCopied())
+	}
+}
+
+func TestSnapshotImmutableUnderParentWrites(t *testing.T) {
+	m := New(8)
+	ppn, _ := m.Alloc()
+	m.Write(ppn, 0, 1)
+
+	snap := m.Snapshot()
+	// The parent keeps running: its own frames turned copy-on-write at
+	// capture, so this write must privatise, not mutate the shared array.
+	m.Write(ppn, 0, 2)
+	if m.BytesCopied() != arch.PageSize {
+		t.Fatalf("parent write after snapshot copied %d bytes, want %d", m.BytesCopied(), arch.PageSize)
+	}
+
+	fork := NewFromSnapshot(snap)
+	if got := fork.Read(ppn, 0); got != 1 {
+		t.Fatalf("late fork sees parent's post-snapshot write: %d", got)
+	}
+}
+
+func TestForksOfOneSnapshotAreIndependent(t *testing.T) {
+	m := New(8)
+	ppn, _ := m.Alloc()
+	m.Write(ppn, 0, 7)
+	snap := m.Snapshot()
+
+	a, b := NewFromSnapshot(snap), NewFromSnapshot(snap)
+	a.Write(ppn, 0, 8)
+	if got := b.Read(ppn, 0); got != 7 {
+		t.Fatalf("sibling fork sees the other's write: %d", got)
+	}
+	b.Write(ppn, 0, 9)
+	if got := a.Read(ppn, 0); got != 8 {
+		t.Fatalf("fork lost its own write: %d", got)
+	}
+}
+
+func TestAllocRecycleClearsSharedBit(t *testing.T) {
+	m := New(8)
+	ppn, _ := m.Alloc()
+	m.Write(ppn, 0, 5)
+	snap := m.Snapshot()
+
+	fork := NewFromSnapshot(snap)
+	fork.Free(ppn)
+	re, err := fork.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != ppn {
+		t.Fatalf("free list recycled %d, want %d", re, ppn)
+	}
+	// The recycled frame reads as zero and writing it must not copy the
+	// old shared contents (the pointer was replaced, not the array).
+	if got := fork.Read(re, 0); got != 0 {
+		t.Fatalf("recycled frame not zeroed: %d", got)
+	}
+	fork.Write(re, 0, 6)
+	if fork.BytesCopied() != 0 {
+		t.Fatalf("write to recycled frame copied %d bytes, want 0", fork.BytesCopied())
+	}
+	// The snapshot's view is unharmed.
+	if got := NewFromSnapshot(snap).Read(ppn, 0); got != 5 {
+		t.Fatalf("recycling mutated the snapshot: %d", got)
+	}
+}

@@ -1,0 +1,56 @@
+package oms
+
+import "repro/internal/arch"
+
+// Snapshot support: the store's bookkeeping (free lists in exact order
+// — AllocSegment pops the tail, so order is timing-relevant — plus the
+// class maps and footprint totals) is captured by value. Segment
+// contents and metadata lines live in main memory and are covered by
+// the mem package's copy-on-write snapshot.
+
+// Snapshot is an immutable capture of a Store's bookkeeping.
+type Snapshot struct {
+	free      [NumClasses][]arch.PhysAddr
+	freeClass map[arch.PhysAddr]int
+	segClass  map[arch.PhysAddr]int
+	owned     int
+	inUse     int
+}
+
+// Snapshot captures the store.
+func (s *Store) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		freeClass: make(map[arch.PhysAddr]int, len(s.freeClass)),
+		segClass:  make(map[arch.PhysAddr]int, len(s.segClass)),
+		owned:     s.owned,
+		inUse:     s.inUse,
+	}
+	for c := range s.free {
+		snap.free[c] = append([]arch.PhysAddr(nil), s.free[c]...)
+	}
+	for k, v := range s.freeClass {
+		snap.freeClass[k] = v
+	}
+	for k, v := range s.segClass {
+		snap.segClass[k] = v
+	}
+	return snap
+}
+
+// Restore loads the captured bookkeeping into this store (typically a
+// freshly built one wired to a forked Memory).
+func (s *Store) Restore(snap *Snapshot) {
+	for c := range s.free {
+		s.free[c] = append(s.free[c][:0], snap.free[c]...)
+	}
+	s.freeClass = make(map[arch.PhysAddr]int, len(snap.freeClass))
+	for k, v := range snap.freeClass {
+		s.freeClass[k] = v
+	}
+	s.segClass = make(map[arch.PhysAddr]int, len(snap.segClass))
+	for k, v := range snap.segClass {
+		s.segClass[k] = v
+	}
+	s.owned = snap.owned
+	s.inUse = snap.inUse
+}

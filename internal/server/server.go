@@ -43,6 +43,12 @@ type Config struct {
 	// negative disables caching).
 	CacheSize int
 
+	// SnapshotCacheSize bounds the warm-state snapshot cache in family
+	// entries (0 = 32, negative disables snapshot reuse). Cached family
+	// snapshots let jobs that share a configuration family skip warm-up
+	// simulation; results are bit-identical either way.
+	SnapshotCacheSize int
+
 	// RetryAfter is the backpressure hint returned with 429
 	// (0 = 2s).
 	RetryAfter time.Duration
@@ -72,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
+	}
+	if c.SnapshotCacheSize == 0 {
+		c.SnapshotCacheSize = 32
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 2 * time.Second
@@ -111,9 +120,13 @@ type Server struct {
 	order    []*job          // submission order, for listing
 	inflight map[string]*job // canonical key → queued/running job
 	cache    *resultCache
-	queue    chan *job
-	draining bool
-	seq      int
+	// snapshots caches warm family state across jobs: two sweep jobs
+	// over the same matrix dimension share one warm-up. Entries are
+	// immutable, so concurrent jobs fork the same family safely.
+	snapshots *exp.SnapshotCache
+	queue     chan *job
+	draining  bool
+	seq       int
 
 	wg sync.WaitGroup
 }
@@ -132,6 +145,9 @@ func New(cfg Config) *Server {
 		inflight:     make(map[string]*job),
 		cache:        newResultCache(cfg.CacheSize),
 		queue:        make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.SnapshotCacheSize > 0 {
+		s.snapshots = exp.NewSnapshotCache(cfg.SnapshotCacheSize)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -289,7 +305,8 @@ func (s *Server) runJob(j *job) {
 	logger.Info("job dequeued", "queue_wait_ms", queueWait.Milliseconds())
 
 	pool := exp.Pool{
-		Parallel: 1, // overridden by the spec's parallel field when set
+		Parallel:  1, // overridden by the spec's parallel field when set
+		Snapshots: s.snapshots,
 		OnProgress: func(done, total, failed int) {
 			s.mu.Lock()
 			j.progress = ProgressEvent{Done: done, Total: total, Failed: failed}

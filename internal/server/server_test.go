@@ -555,3 +555,48 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		t.Errorf("histogram _count series missing from /metrics")
 	}
 }
+
+// TestSnapshotReuseAcrossJobs runs two real sweep jobs that share a
+// configuration family (same rows, different points) and checks that
+// the second job's family warm-up came out of the snapshot cache, with
+// the reuse telemetry visible on /metrics.
+func TestSnapshotReuseAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	if code, _, _ := postSpec(t, ts, `{"experiment":"sweep","points":2,"rows":32}`, true); code != http.StatusOK {
+		t.Fatalf("job 1: status = %d, want 200", code)
+	}
+	if code, _, _ := postSpec(t, ts, `{"experiment":"sweep","points":3,"rows":32}`, true); code != http.StatusOK {
+		t.Fatalf("job 2: status = %d, want 200", code)
+	}
+	if hits, misses := s.snapshots.Hits(), s.snapshots.Misses(); hits != 1 || misses != 1 {
+		t.Errorf("snapshot cache hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+
+	code, raw := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status = %d", code)
+	}
+	samples, _, err := sim.ParsePrometheus(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("metrics do not parse: %v\n%s", err, raw)
+	}
+	byName := map[string]float64{}
+	for _, sm := range samples {
+		byName[sm.Name] = sm.Value
+	}
+	if byName["overlaysim_server_snapshot_cache_hits"] != 1 {
+		t.Errorf("snapshot cache hits gauge = %v, want 1", byName["overlaysim_server_snapshot_cache_hits"])
+	}
+	// Each job forks once per point plus one dense-baseline fork of the
+	// shared family.
+	if got := byName["overlaysim_"+sim.PromName(exp.SnapForksCounter)]; got < 2 {
+		t.Errorf("%s = %v, want >= 2", exp.SnapForksCounter, got)
+	}
+	if got := byName["overlaysim_"+sim.PromName(exp.SnapWarmupsCounter)]; got < 1 {
+		t.Errorf("%s = %v, want >= 1", exp.SnapWarmupsCounter, got)
+	}
+}

@@ -1,0 +1,50 @@
+package tlb
+
+// Snapshot support: the TLB's structural state (both levels' ways and
+// replacement clocks) can be captured and restored onto a freshly
+// constructed TLB of the same configuration. Counters and histograms
+// live in the shared sim.Stats registry and are restored there, not
+// here.
+
+// levelSnapshot is one level's captured ways (flattened) and clock.
+type levelSnapshot struct {
+	ways  []way
+	clock uint64
+}
+
+func (l *level) snapshot() levelSnapshot {
+	var flat []way
+	for _, s := range l.sets {
+		flat = append(flat, s...)
+	}
+	return levelSnapshot{ways: flat, clock: l.clock}
+}
+
+func (l *level) restore(s levelSnapshot) {
+	i := 0
+	for _, set := range l.sets {
+		copy(set, s.ways[i:i+len(set)])
+		i += len(set)
+	}
+	l.clock = s.clock
+}
+
+// Snapshot is an immutable capture of a TLB's cached translations.
+type Snapshot struct {
+	l1, l2 levelSnapshot
+}
+
+// Snapshot captures both levels.
+func (t *TLB) Snapshot() *Snapshot {
+	return &Snapshot{l1: t.l1.snapshot(), l2: t.l2.snapshot()}
+}
+
+// Restore loads the captured translations into this TLB, which must
+// have the same geometry as the one that produced the snapshot.
+func (t *TLB) Restore(s *Snapshot) {
+	if len(s.l1.ways) != t.cfg.L1Entries || len(s.l2.ways) != t.cfg.L2Entries {
+		panic("tlb: restore geometry mismatch")
+	}
+	t.l1.restore(s.l1)
+	t.l2.restore(s.l2)
+}
