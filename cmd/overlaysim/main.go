@@ -8,6 +8,7 @@
 //	overlaysim linesize               Figure 11 (memory overhead vs granularity)
 //	overlaysim sweep                  §5.2 sparsity sweep (overlays vs dense)
 //	overlaysim dualcore               extension: divergence with both processes running
+//	overlaysim compare                cross-backend comparison (overlay / baseline / vbi / utopia)
 //	overlaysim bench                  fixed job matrix: parallel-vs-sequential baseline for CI
 //	overlaysim trace                  record a workload trace / replay one through the simulator
 //	overlaysim stats                  run one fork benchmark and dump all counters
@@ -131,11 +132,34 @@ func commands() []*command {
 		newLinesizeCmd(),
 		newSweepCmd(),
 		newDualcoreCmd(),
+		newCompareCmd(),
 		newBenchCmd(),
 		newTraceCmd(),
 		newStatsCmd(),
 		newServeCmd(),
 	}
+}
+
+// addBackendFlag registers the shared -backend flag. parseBackend
+// validates the value against the registered-backend list at flag-parse
+// time: an unknown name is a usage error (exit 2) listing the valid
+// names, not a simulation-time panic.
+func addBackendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", "",
+		fmt.Sprintf("translation backend: one of %s (default %s)",
+			strings.Join(core.Backends(), ", "), core.DefaultBackend))
+}
+
+func parseBackend(backend string) (string, error) {
+	if err := core.ValidBackend(backend); err != nil {
+		return "", usageError(err.Error())
+	}
+	// The default backend canonicalises to the empty string so exports
+	// and warm-state family keys match a run without the flag.
+	if backend == core.DefaultBackend {
+		return "", nil
+	}
+	return backend, nil
 }
 
 // profileFlags is the pprof flag group shared by every subcommand.
@@ -387,6 +411,7 @@ func newForkCmd() *command {
 	warm := fs.Uint64("warm", exp.DefaultForkParams().WarmInstructions, "warm-up instructions before the fork")
 	measure := fs.Uint64("measure", exp.DefaultForkParams().MeasureInstructions, "instructions measured after the fork")
 	bench := fs.String("bench", "", "run a single benchmark (default: all 15)")
+	backend := addBackendFlag(fs)
 	parallel := addParallelFlag(fs)
 	cold := addColdFlag(fs)
 	tel := addTelemetryFlags(fs)
@@ -397,6 +422,10 @@ func newForkCmd() *command {
 		prof:    addProfileFlags(fs),
 		run: func(stdout, stderr io.Writer) error {
 			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
+			be, err := parseBackend(*backend)
 			if err != nil {
 				return err
 			}
@@ -412,6 +441,7 @@ func newForkCmd() *command {
 			params := exp.ForkParams{
 				WarmInstructions:    *warm,
 				MeasureInstructions: *measure,
+				Backend:             be,
 				SeriesEpoch:         sim.Cycle(tel.epoch),
 				Trace:               tl,
 			}
@@ -613,6 +643,67 @@ func newDualcoreCmd() *command {
 	}
 }
 
+func newCompareCmd() *command {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	defaults := exp.DefaultCompareParams()
+	bench := fs.String("bench", defaults.Bench, "fork benchmark each backend runs")
+	backend := addBackendFlag(fs)
+	warm := fs.Uint64("warm", defaults.Warm, "warm-up instructions before the fork")
+	measure := fs.Uint64("measure", defaults.Measure, "instructions measured after the fork")
+	matrices := fs.Int("matrices", defaults.Matrices, "SpMV suite matrices each backend runs")
+	parallel := addParallelFlag(fs)
+	cold := addColdFlag(fs)
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "compare",
+		summary: "run the same workloads across translation backends (overlay, baseline, vbi, utopia)",
+		flags:   fs,
+		prof:    addProfileFlags(fs),
+		run: func(stdout, stderr io.Writer) error {
+			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
+			if err := core.ValidBackend(*backend); err != nil {
+				return usageError(err.Error())
+			}
+			if *matrices < 0 {
+				return usageError(fmt.Sprintf("invalid -matrices %d: must be >= 0", *matrices))
+			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
+			pool.Cold = *cold
+			snap := &exp.SnapshotStats{}
+			pool.Snap = snap
+			params := exp.CompareParams{
+				Bench:    *bench,
+				Warm:     *warm,
+				Measure:  *measure,
+				Matrices: *matrices,
+			}
+			// -backend restricts the run to one backend; default is all.
+			if *backend != "" {
+				params.Backends = []string{*backend}
+			}
+			ctx, finishSpans := tel.traceContext("compare")
+			report, err := exp.RunComparePool(ctx, pool, params)
+			if err != nil {
+				return err
+			}
+			exp.PrintCompare(stdout, report)
+			if !tel.wanted() {
+				return nil
+			}
+			ex := exp.CompareExport(params, report)
+			snap.Provenance().AttachCounters(ex)
+			return outs.write(ex, nil, nil, finishSpans())
+		},
+	}
+}
+
 func newBenchCmd() *command {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	short := fs.Bool("short", false, "run the quick CI matrix instead of the full one")
@@ -722,6 +813,7 @@ func newBenchCmd() *command {
 func newStatsCmd() *command {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	bench := fs.String("bench", "mcf", "benchmark to run")
+	backend := addBackendFlag(fs)
 	overlay := fs.Bool("overlay", true, "use overlay-on-write (false: copy-on-write)")
 	measure := fs.Uint64("measure", exp.QuickForkParams().MeasureInstructions, "instructions after fork")
 	tel := addTelemetryFlags(fs)
@@ -735,6 +827,10 @@ func newStatsCmd() *command {
 			if err != nil {
 				return err
 			}
+			be, err := parseBackend(*backend)
+			if err != nil {
+				return err
+			}
 			outs, err := tel.open()
 			if err != nil {
 				return err
@@ -742,10 +838,12 @@ func newStatsCmd() *command {
 			defer outs.close()
 			cfg := core.DefaultConfig()
 			cfg.MemoryPages = spec.Pages*2 + 16384
+			cfg.Backend = be
 			tl := tel.traceLog()
 			params := exp.ForkParams{
 				WarmInstructions:    exp.QuickForkParams().WarmInstructions,
 				MeasureInstructions: *measure,
+				Backend:             be,
 				SeriesEpoch:         sim.Cycle(tel.epoch),
 				Trace:               tl,
 			}

@@ -138,6 +138,16 @@ func TestExitCodes(t *testing.T) {
 		{"trace with both -out and -in", []string{"trace", "-out=a", "-in=b"}, 2},
 		{"stats bad flag", []string{"stats", "-nope"}, 2},
 		{"config bad flag", []string{"config", "-nope"}, 2},
+
+		// -backend is validated against the registered-backend list at
+		// flag-parse time, before any simulation.
+		{"fork unknown backend", []string{"fork", "-backend=nope", "-bench=hmmer"}, 2},
+		{"stats unknown backend", []string{"stats", "-backend=nope"}, 2},
+		{"compare unknown backend", []string{"compare", "-backend=nope"}, 2},
+		{"compare bad flag", []string{"compare", "-nope"}, 2},
+		{"compare negative matrices", []string{"compare", "-matrices=-1"}, 2},
+		{"compare negative parallel", []string{"compare", "-parallel=-1"}, 2},
+		{"compare unwritable json", []string{"compare", "-warm=1000000000000", "-json=/nonexistent/dir/out.json"}, 2},
 		{"config bad cpuprofile path", []string{"config", "-cpuprofile=/nonexistent/dir/cpu.pprof"}, 2},
 		{"config bad memprofile path", []string{"config", "-memprofile=/nonexistent/dir/mem.pprof"}, 2},
 		{"trace bad cpuprofile path", []string{"trace", "-cpuprofile=/nonexistent/dir/cpu.pprof"}, 2},
@@ -162,6 +172,7 @@ func TestExitCodes(t *testing.T) {
 		// Runtime errors → 1.
 		{"stats unknown benchmark", []string{"stats", "-bench=notabench"}, 1},
 		{"fork unknown benchmark", []string{"fork", "-bench=notabench"}, 1},
+		{"compare unknown benchmark", []string{"compare", "-bench=notabench"}, 1},
 		{"trace replay missing file", []string{"trace", "-in=/nonexistent/trace.bin"}, 1},
 		{"trace record unwritable", []string{"trace", "-out=/nonexistent/dir/trace.bin", "-n=1"}, 1},
 		{"bench missing baseline", []string{"bench", "-check=/nonexistent/baseline.json"}, 1},
@@ -250,8 +261,8 @@ func TestBenchCLI(t *testing.T) {
 	if ex.Meta.GoVersion == "" || ex.Meta.Parallel != 2 || ex.Results.Parallel != 2 {
 		t.Errorf("export meta incomplete: %+v", ex.Meta)
 	}
-	if len(ex.Results.Experiments) != 5 {
-		t.Fatalf("export has %d experiments, want 5", len(ex.Results.Experiments))
+	if len(ex.Results.Experiments) != 6 {
+		t.Fatalf("export has %d experiments, want 6", len(ex.Results.Experiments))
 	}
 
 	// Re-running against the just-written baseline must pass the gate.

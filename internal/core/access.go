@@ -43,20 +43,10 @@ func (f *Framework) overlayLineLoc(opn arch.OPN, entry *omt.Entry, line int) (li
 	}, nil
 }
 
-// resolveRead locates the bytes a load of (pid, vpn, line) must return.
+// resolveRead locates the bytes a load of (pid, vpn, line) must return
+// under the framework's translation backend.
 func (f *Framework) resolveRead(proc *vm.Process, vpn arch.VPN, line int) (lineLoc, error) {
-	pte := proc.Table.Lookup(vpn)
-	if pte == nil {
-		return lineLoc{}, fmt.Errorf("core: read fault at pid %d vpn %#x", proc.PID, uint64(vpn))
-	}
-	if pte.Overlay && !pte.Shadow {
-		opn := arch.OverlayPage(proc.PID, vpn)
-		entry := f.OMTTable.Get(opn)
-		if entry.OBits.Has(line) {
-			return f.overlayLineLoc(opn, f.OMTTable.Ref(opn), line)
-		}
-	}
-	return physLineLoc(pte.PPN, line), nil
+	return f.backend.ResolveRead(proc, vpn, line)
 }
 
 // writeKind classifies what a store to a line required (§4.3).
@@ -75,6 +65,11 @@ const (
 	// writeCOWReuse is a conventional COW fault where this process was the
 	// last sharer, so only permissions change.
 	writeCOWReuse
+	// writeVBIRemap is the Virtual Block Interface's COW resolution: the
+	// controller's translation layer remaps the block to a fresh frame and
+	// copies it in the background — no OS trap, no shootdown, and no cache
+	// retag (tags are virtual).
+	writeVBIRemap
 )
 
 // writeResolution reports where a store landed and what it cost.
@@ -88,67 +83,12 @@ type writeResolution struct {
 }
 
 // resolveWrite performs the structural state changes a store to
-// (proc, vpn, line) requires — overlay creation, OMT/TLB updates, or a
-// conventional COW page copy — and reports what happened. It does not
-// write the payload bytes.
+// (proc, vpn, line) requires under the framework's translation backend —
+// overlay creation, OMT/TLB updates, a conventional COW page copy, or a
+// controller-side remap — and reports what happened. It does not write
+// the payload bytes.
 func (f *Framework) resolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writeResolution, error) {
-	pte := proc.Table.Lookup(vpn)
-	if pte == nil {
-		return writeResolution{}, fmt.Errorf("core: write fault at pid %d vpn %#x", proc.PID, uint64(vpn))
-	}
-	opn := arch.OverlayPage(proc.PID, vpn)
-
-	if pte.Overlay && !pte.Shadow {
-		entry := f.OMTTable.Ref(opn)
-		if entry.OBits.Has(line) {
-			loc, err := f.overlayLineLoc(opn, entry, line)
-			if err != nil {
-				return writeResolution{}, err
-			}
-			*f.simpleOvlWrites++
-			return writeResolution{kind: writeSimpleOverlay, loc: loc}, nil
-		}
-		if pte.COW || !pte.Writable {
-			// Overlaying write: copy the line into a fresh overlay slot and
-			// remap it with a single-line coherence update.
-			src := physLineLoc(pte.PPN, line)
-			loc, err := f.overlayInsert(proc.PID, vpn, entry, line, &pte.PPN)
-			if err != nil {
-				return writeResolution{}, err
-			}
-			*f.overlayingWr++
-			return writeResolution{kind: writeOverlaying, loc: loc, srcCacheAddr: src.cacheAddr}, nil
-		}
-		// Overlay-enabled but writable and line not in overlay: plain.
-		*f.plainWrites++
-		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
-	}
-
-	if pte.Writable {
-		*f.plainWrites++
-		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
-	}
-	if pte.COW {
-		oldPPN := pte.PPN
-		_, copied, err := f.VM.BreakCOW(proc, vpn)
-		if err != nil {
-			return writeResolution{}, err
-		}
-		pte = proc.Table.Lookup(vpn)
-		res := writeResolution{
-			loc:          physLineLoc(pte.PPN, line),
-			srcCacheAddr: arch.PhysAddrOf(oldPPN, 0),
-		}
-		if copied {
-			res.kind = writeCOWCopy
-			*f.cowCopies++
-		} else {
-			res.kind = writeCOWReuse
-			*f.cowReuses++
-		}
-		return res, nil
-	}
-	return writeResolution{}, fmt.Errorf("core: protection fault: write to read-only pid %d vpn %#x", proc.PID, uint64(vpn))
+	return f.backend.ResolveWrite(proc, vpn, line)
 }
 
 // overlayInsert adds `line` to the page's overlay: it allocates or grows
@@ -271,45 +211,13 @@ func (f *Framework) Store64(pid arch.PID, va arch.VirtAddr, v uint64) error {
 	return f.Store(pid, va, buf[:])
 }
 
-// Fork clones the process with either conventional copy-on-write
-// (overlayMode=false) or overlay-on-write (overlayMode=true) semantics,
-// flushing the parent's now-stale TLB entries. Because no two virtual
-// pages may share an overlay (§4.1), any overlay lines the parent already
-// has are copied into per-child overlays so the child observes the
-// parent's full fork-time contents.
+// Fork clones the process under the translation backend's sharing
+// mechanism. For the overlay backend, overlayMode selects overlay-on-
+// write (true) versus conventional copy-on-write (false) semantics;
+// backends without overlays share every page copy-on-write and ignore
+// the flag.
 func (f *Framework) Fork(parent *vm.Process, overlayMode bool) *vm.Process {
-	child := f.VM.Fork(parent, overlayMode)
-	var copyErr error
-	parent.Table.Range(func(vpn arch.VPN, pte *vm.PTE) bool {
-		srcOPN := arch.OverlayPage(parent.PID, vpn)
-		src := f.OMTTable.Get(srcOPN)
-		if src.OBits.Empty() {
-			return true
-		}
-		dstEntry := f.OMTTable.Ref(arch.OverlayPage(child.PID, vpn))
-		var buf [arch.LineSize]byte
-		for _, line := range src.OBits.Lines() {
-			slot, ok := f.OMS.LocateLine(src.SegBase, line)
-			if !ok {
-				continue
-			}
-			loc, err := f.overlayInsert(child.PID, vpn, dstEntry, line, nil)
-			if err != nil {
-				copyErr = err
-				return false
-			}
-			f.OMS.ReadLineData(slot, buf[:])
-			f.Mem.WriteLine(loc.ppn, int(loc.off>>arch.LineShift), buf[:])
-		}
-		return true
-	})
-	if copyErr != nil {
-		panic(fmt.Sprintf("core: fork overlay copy: %v", copyErr))
-	}
-	for _, p := range f.ports {
-		p.TLB.FlushPID(parent.PID)
-	}
-	return child
+	return f.backend.Fork(parent, overlayMode)
 }
 
 // Exit tears down a process: every page overlay is released, then the

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+// baselineBackend is the conventional virtual-memory control (§2.2 of
+// the paper): 4-level page walks, physically tagged caches, and trap-
+// and-copy copy-on-write with full TLB shootdowns. It is exactly the
+// overlay backend with the overlay machinery removed — pages marked for
+// overlays behave as ordinary COW pages — so compare runs isolate what
+// the overlay (or any rival) mechanism buys.
+type baselineBackend struct {
+	f *Framework
+}
+
+func init() {
+	RegisterBackend("baseline", func(f *Framework) TranslationBackend {
+		return &baselineBackend{f: f}
+	})
+}
+
+func (b *baselineBackend) Name() string { return "baseline" }
+
+func (b *baselineBackend) Walk(pid arch.PID, vpn arch.VPN) (tlb.Entry, sim.Cycle, bool) {
+	e, ok := b.f.conventionalWalk(pid, vpn)
+	return e, b.f.Config.TLB.WalkLatency, ok
+}
+
+func (b *baselineBackend) ReadTarget(p *Port, pid arch.PID, va arch.VirtAddr) (arch.PhysAddr, sim.Cycle) {
+	entry, lat, ok := p.TLB.Lookup(pid, va.Page())
+	if !ok {
+		panic(fmt.Sprintf("core: timed read fault at pid %d va %#x", pid, uint64(va)))
+	}
+	return arch.PhysAddrOf(entry.PPN, uint64(va.Line())<<arch.LineShift), lat
+}
+
+func (b *baselineBackend) WriteLatency(p *Port, pid arch.PID, va arch.VirtAddr) sim.Cycle {
+	_, lat, ok := p.TLB.Lookup(pid, va.Page())
+	if !ok {
+		panic(fmt.Sprintf("core: timed write fault at pid %d va %#x", pid, uint64(va)))
+	}
+	return lat
+}
+
+func (b *baselineBackend) Write(p *Port, pid arch.PID, va arch.VirtAddr, done sim.Cont) {
+	f := b.f
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		panic(fmt.Sprintf("core: no process %d", pid))
+	}
+	vpn, line := va.Page(), va.Line()
+	res, err := f.conventionalResolveWrite(proc, vpn, line)
+	if err != nil {
+		panic(err)
+	}
+	switch res.kind {
+	case writePlain:
+		f.Hier.AccessCont(res.loc.cacheAddr, true, done)
+	case writeCOWCopy, writeCOWReuse:
+		f.timedCOWWrite(p, pid, vpn, res, done)
+	default:
+		panic("core: unknown write kind")
+	}
+}
+
+func (b *baselineBackend) ResolveRead(proc *vm.Process, vpn arch.VPN, line int) (lineLoc, error) {
+	return b.f.conventionalResolveRead(proc, vpn, line)
+}
+
+func (b *baselineBackend) ResolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writeResolution, error) {
+	return b.f.conventionalResolveWrite(proc, vpn, line)
+}
+
+// Fetch and WriteBack see only regular physical addresses (nothing tags
+// lines into the Overlay Address Space under this backend).
+func (b *baselineBackend) Fetch(addr arch.PhysAddr, done sim.Cont) {
+	b.f.DRAM.ReadCont(addr, done)
+}
+
+func (b *baselineBackend) WriteBack(addr arch.PhysAddr) {
+	b.f.DRAM.Write(addr, nil)
+}
+
+func (b *baselineBackend) OnMiss(addr arch.PhysAddr) {
+	b.f.Prefetch.OnMiss(addr)
+}
+
+// Fork always shares copy-on-write — the conventional system has no
+// overlay-on-write to offer.
+func (b *baselineBackend) Fork(parent *vm.Process, overlayMode bool) *vm.Process {
+	return b.f.conventionalFork(parent)
+}
+
+// MetadataBytes is the page tables alone: 8 B per mapped PTE.
+func (b *baselineBackend) MetadataBytes() int {
+	return b.f.VM.MappedPages() * 8
+}
+
+func (b *baselineBackend) SnapshotState() any { return nil }
+
+func (b *baselineBackend) RestoreState(any) {}

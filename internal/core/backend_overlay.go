@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+// overlayBackend is the paper's page-overlay framework (§3–§4): the
+// direct virtual-to-overlay mapping, OBitVector-extended TLB entries, the
+// Overlay Mapping Table with its controller cache, and the compact
+// Overlay Memory Store. It is the default backend and is bit-identical to
+// the pre-refactor framework — every method body here was moved, not
+// rewritten.
+type overlayBackend struct {
+	f *Framework
+}
+
+func init() {
+	RegisterBackend("overlay", func(f *Framework) TranslationBackend {
+		return &overlayBackend{f: f}
+	})
+}
+
+func (b *overlayBackend) Name() string { return "overlay" }
+
+// Walk implements the TLB's page-walk interface: the 1000-cycle walk
+// reads the page tables and, for overlay-enabled pages, the OMT entry
+// that supplies the OBitVector.
+func (b *overlayBackend) Walk(pid arch.PID, vpn arch.VPN) (tlb.Entry, sim.Cycle, bool) {
+	f := b.f
+	lat := f.Config.TLB.WalkLatency
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		return tlb.Entry{}, lat, false
+	}
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return tlb.Entry{}, lat, false
+	}
+	e := tlb.Entry{
+		PPN:        pte.PPN,
+		COW:        pte.COW,
+		Writable:   pte.Writable,
+		HasOverlay: pte.Overlay,
+	}
+	if pte.Overlay || pte.Shadow {
+		e.OBits = f.OMTTable.Get(arch.OverlayPage(pid, vpn)).OBits
+	}
+	return e, lat, true
+}
+
+// ReadTarget translates a timed load: lines present in the page's
+// overlay are tagged in the Overlay Address Space, everything else at the
+// regular physical address.
+func (b *overlayBackend) ReadTarget(p *Port, pid arch.PID, va arch.VirtAddr) (arch.PhysAddr, sim.Cycle) {
+	entry, lat, ok := p.TLB.Lookup(pid, va.Page())
+	if !ok {
+		panic(fmt.Sprintf("core: timed read fault at pid %d va %#x", pid, uint64(va)))
+	}
+	line := va.Line()
+	var target arch.PhysAddr
+	if entry.HasOverlay && entry.OBits.Has(line) {
+		target = arch.OverlayPage(pid, va.Page()).LineAddr(line)
+	} else {
+		target = arch.PhysAddrOf(entry.PPN, uint64(line)<<arch.LineShift)
+	}
+	return target, lat
+}
+
+func (b *overlayBackend) WriteLatency(p *Port, pid arch.PID, va arch.VirtAddr) sim.Cycle {
+	_, lat, ok := p.TLB.Lookup(pid, va.Page())
+	if !ok {
+		panic(fmt.Sprintf("core: timed write fault at pid %d va %#x", pid, uint64(va)))
+	}
+	return lat
+}
+
+// Write implements the three write flavours of §4.3 on the timed path.
+func (b *overlayBackend) Write(p *Port, pid arch.PID, va arch.VirtAddr, done sim.Cont) {
+	f := b.f
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		panic(fmt.Sprintf("core: no process %d", pid))
+	}
+	vpn, line := va.Page(), va.Line()
+	res, err := b.ResolveWrite(proc, vpn, line)
+	if err != nil {
+		panic(err)
+	}
+	switch res.kind {
+	case writePlain, writeSimpleOverlay:
+		f.Hier.AccessCont(res.loc.cacheAddr, true, done)
+
+	case writeOverlaying:
+		// §4.3.3: fetch the source line (read-for-ownership), retag the
+		// block into the Overlay Address Space, pay the coherence round,
+		// then the store completes. The fetch is the application's own
+		// write-allocate miss; the remap adds OverlayRemapLatency. The
+		// remaining write flavours are off the hot path, so plain closures
+		// are fine here.
+		f.Hier.Access(res.srcCacheAddr, true, func() {
+			f.Hier.Retag(res.srcCacheAddr, res.loc.cacheAddr)
+			f.Engine.ScheduleCont(f.Config.OverlayRemapLatency, done)
+		})
+
+	case writeCOWCopy, writeCOWReuse:
+		f.timedCOWWrite(p, pid, vpn, res, done)
+
+	default:
+		panic("core: unknown write kind")
+	}
+}
+
+// ResolveRead locates the bytes a load of (pid, vpn, line) must return.
+func (b *overlayBackend) ResolveRead(proc *vm.Process, vpn arch.VPN, line int) (lineLoc, error) {
+	f := b.f
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return lineLoc{}, fmt.Errorf("core: read fault at pid %d vpn %#x", proc.PID, uint64(vpn))
+	}
+	if pte.Overlay && !pte.Shadow {
+		opn := arch.OverlayPage(proc.PID, vpn)
+		entry := f.OMTTable.Get(opn)
+		if entry.OBits.Has(line) {
+			return f.overlayLineLoc(opn, f.OMTTable.Ref(opn), line)
+		}
+	}
+	return physLineLoc(pte.PPN, line), nil
+}
+
+// ResolveWrite performs the structural state changes a store to
+// (proc, vpn, line) requires — overlay creation, OMT/TLB updates, or a
+// conventional COW page copy — and reports what happened. It does not
+// write the payload bytes.
+func (b *overlayBackend) ResolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writeResolution, error) {
+	f := b.f
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return writeResolution{}, fmt.Errorf("core: write fault at pid %d vpn %#x", proc.PID, uint64(vpn))
+	}
+	opn := arch.OverlayPage(proc.PID, vpn)
+
+	if pte.Overlay && !pte.Shadow {
+		entry := f.OMTTable.Ref(opn)
+		if entry.OBits.Has(line) {
+			loc, err := f.overlayLineLoc(opn, entry, line)
+			if err != nil {
+				return writeResolution{}, err
+			}
+			*f.simpleOvlWrites++
+			return writeResolution{kind: writeSimpleOverlay, loc: loc}, nil
+		}
+		if pte.COW || !pte.Writable {
+			// Overlaying write: copy the line into a fresh overlay slot and
+			// remap it with a single-line coherence update.
+			src := physLineLoc(pte.PPN, line)
+			loc, err := f.overlayInsert(proc.PID, vpn, entry, line, &pte.PPN)
+			if err != nil {
+				return writeResolution{}, err
+			}
+			*f.overlayingWr++
+			return writeResolution{kind: writeOverlaying, loc: loc, srcCacheAddr: src.cacheAddr}, nil
+		}
+		// Overlay-enabled but writable and line not in overlay: plain.
+		*f.plainWrites++
+		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
+	}
+
+	return f.conventionalResolveWriteTail(proc, pte, vpn, line)
+}
+
+// Fetch implements the memory controller of Fig. 6: regular addresses go
+// straight to DRAM; overlay addresses are resolved through the OMT cache
+// and the Overlay Memory Store's segment metadata.
+func (b *overlayBackend) Fetch(addr arch.PhysAddr, done sim.Cont) {
+	f := b.f
+	if !addr.IsOverlay() {
+		f.DRAM.ReadCont(addr, done)
+		return
+	}
+	opn := arch.OverlayPageOf(addr)
+	entry, lat := f.OMTCache.Lookup(opn)
+	idx, r := f.newOvl()
+	r.entry, r.line, r.done = entry, addr.Line(), done
+	f.Engine.ScheduleArg(lat, f.ovlFetchFn, uint64(idx))
+}
+
+func (b *overlayBackend) WriteBack(addr arch.PhysAddr) {
+	f := b.f
+	if !addr.IsOverlay() {
+		f.DRAM.Write(addr, nil)
+		return
+	}
+	opn := arch.OverlayPageOf(addr)
+	entry, lat := f.OMTCache.Lookup(opn)
+	idx, r := f.newOvl()
+	r.entry, r.line, r.done = entry, addr.Line(), sim.Cont{}
+	f.Engine.ScheduleArg(lat, f.ovlWBFn, uint64(idx))
+}
+
+// OnMiss feeds L2 demand misses to the stream prefetcher (for both
+// regular and overlay addresses — overlay lines form streams in the
+// Overlay Address Space just as well) and, for overlay misses, primes the
+// memory controller's OMT cache with the next overlay-bearing page so
+// page-sequential overlay traffic never exposes the 1000-cycle OMT walk
+// on demand. The OBitVector-walking prefetcher of the overlay computation
+// model is driven from Port.ReadOverlay instead (§5.2 accesses only).
+func (b *overlayBackend) OnMiss(addr arch.PhysAddr) {
+	f := b.f
+	if !addr.IsOverlay() {
+		f.Prefetch.OnMiss(addr)
+		return
+	}
+	// Overlay miss: the controller holds the page's OBitVector, so it
+	// feeds the stream prefetcher only when the overlay is dense enough
+	// for unit-stride streams to be real lines — on sparse overlays a
+	// blind stream would fetch mostly absent (zero-fill) lines and
+	// pollute the L3. Sparse overlays are covered by the OBitVector
+	// walker on the §5.2 path instead.
+	opn := arch.OverlayPageOf(addr)
+	if f.OMTTable.Get(opn).OBits.Count() >= arch.LinesPerPage*3/4 {
+		f.Prefetch.OnMiss(addr)
+	}
+	f.primeNextOMTEntry(opn)
+}
+
+// Fork clones the process with either conventional copy-on-write
+// (overlayMode=false) or overlay-on-write (overlayMode=true) semantics,
+// flushing the parent's now-stale TLB entries. Because no two virtual
+// pages may share an overlay (§4.1), any overlay lines the parent already
+// has are copied into per-child overlays so the child observes the
+// parent's full fork-time contents.
+func (b *overlayBackend) Fork(parent *vm.Process, overlayMode bool) *vm.Process {
+	f := b.f
+	child := f.VM.Fork(parent, overlayMode)
+	var copyErr error
+	parent.Table.Range(func(vpn arch.VPN, pte *vm.PTE) bool {
+		srcOPN := arch.OverlayPage(parent.PID, vpn)
+		src := f.OMTTable.Get(srcOPN)
+		if src.OBits.Empty() {
+			return true
+		}
+		dstEntry := f.OMTTable.Ref(arch.OverlayPage(child.PID, vpn))
+		var buf [arch.LineSize]byte
+		for _, line := range src.OBits.Lines() {
+			slot, ok := f.OMS.LocateLine(src.SegBase, line)
+			if !ok {
+				continue
+			}
+			loc, err := f.overlayInsert(child.PID, vpn, dstEntry, line, nil)
+			if err != nil {
+				copyErr = err
+				return false
+			}
+			f.OMS.ReadLineData(slot, buf[:])
+			f.Mem.WriteLine(loc.ppn, int(loc.off>>arch.LineShift), buf[:])
+		}
+		return true
+	})
+	if copyErr != nil {
+		panic(fmt.Sprintf("core: fork overlay copy: %v", copyErr))
+	}
+	for _, p := range f.ports {
+		p.TLB.FlushPID(parent.PID)
+	}
+	return child
+}
+
+// MetadataBytes models page tables (8 B per mapped PTE) plus the OMT
+// (16 B per live entry: OBitVector + segment base).
+func (b *overlayBackend) MetadataBytes() int {
+	return b.f.VM.MappedPages()*8 + b.f.OMTTable.Count()*16
+}
+
+// SnapshotState returns nil: all overlay state lives in the shared
+// components (OMT table, OMT cache, OMS, port cursors) that the
+// framework snapshot already captures.
+func (b *overlayBackend) SnapshotState() any { return nil }
+
+func (b *overlayBackend) RestoreState(any) {}

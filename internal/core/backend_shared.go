@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+// Conventional-translation helpers shared between backends: the overlay
+// backend's non-overlay tail, the baseline control, and Utopia (which
+// changes only the walk) all resolve stores through trap-and-copy COW
+// and loads through the page tables. Keeping one copy here guarantees
+// the control path can never drift from the overlay backend's own
+// conventional arm.
+
+// conventionalWalk fills a TLB entry from the page tables alone — no
+// OBitVector, no overlay flag, whatever the PTE says about overlays.
+func (f *Framework) conventionalWalk(pid arch.PID, vpn arch.VPN) (tlb.Entry, bool) {
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		return tlb.Entry{}, false
+	}
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return tlb.Entry{}, false
+	}
+	return tlb.Entry{PPN: pte.PPN, COW: pte.COW, Writable: pte.Writable}, true
+}
+
+// conventionalResolveRead reads through the page tables: the bytes always
+// live in the mapped frame.
+func (f *Framework) conventionalResolveRead(proc *vm.Process, vpn arch.VPN, line int) (lineLoc, error) {
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return lineLoc{}, fmt.Errorf("core: read fault at pid %d vpn %#x", proc.PID, uint64(vpn))
+	}
+	return physLineLoc(pte.PPN, line), nil
+}
+
+// conventionalResolveWriteTail is the no-overlay arm of write resolution:
+// plain stores to writable pages, trap-and-copy (or last-sharer reuse)
+// for COW pages, protection fault otherwise. The overlay backend funnels
+// its non-overlay pages through the same code.
+func (f *Framework) conventionalResolveWriteTail(proc *vm.Process, pte *vm.PTE, vpn arch.VPN, line int) (writeResolution, error) {
+	if pte.Writable {
+		*f.plainWrites++
+		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
+	}
+	if pte.COW {
+		oldPPN := pte.PPN
+		_, copied, err := f.VM.BreakCOW(proc, vpn)
+		if err != nil {
+			return writeResolution{}, err
+		}
+		pte = proc.Table.Lookup(vpn)
+		res := writeResolution{
+			loc:          physLineLoc(pte.PPN, line),
+			srcCacheAddr: arch.PhysAddrOf(oldPPN, 0),
+		}
+		if copied {
+			res.kind = writeCOWCopy
+			*f.cowCopies++
+		} else {
+			res.kind = writeCOWReuse
+			*f.cowReuses++
+		}
+		return res, nil
+	}
+	return writeResolution{}, fmt.Errorf("core: protection fault: write to read-only pid %d vpn %#x", proc.PID, uint64(vpn))
+}
+
+// conventionalResolveWrite is the full conventional write resolution:
+// page-table lookup plus the shared tail.
+func (f *Framework) conventionalResolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writeResolution, error) {
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return writeResolution{}, fmt.Errorf("core: write fault at pid %d vpn %#x", proc.PID, uint64(vpn))
+	}
+	return f.conventionalResolveWriteTail(proc, pte, vpn, line)
+}
+
+// timedCOWWrite models the conventional copy-on-write resolutions on the
+// timed path (§2.2): an OS trap, the page copy with full memory-level
+// parallelism (writeCOWCopy only), a TLB shootdown, then the retried
+// store. Shared by every backend whose stores can hit COW pages through
+// conventional control (overlay's non-overlay pages, baseline, utopia).
+func (f *Framework) timedCOWWrite(p *Port, pid arch.PID, vpn arch.VPN, res writeResolution, done sim.Cont) {
+	switch res.kind {
+	case writeCOWCopy:
+		// Conventional copy-on-write (§2.2): trap into the OS, copy all 64
+		// lines of the page (reads issued with full memory-level
+		// parallelism; destination lines are produced into the cache),
+		// shoot down the TLBs, then retry the store on the new page.
+		srcPage := res.srcCacheAddr.PageAligned()
+		dstPage := res.loc.cacheAddr.PageAligned()
+		f.Engine.Schedule(f.Config.COWTrapLatency, func() {
+			remaining := arch.LinesPerPage
+			for i := 0; i < arch.LinesPerPage; i++ {
+				i := i
+				src := srcPage + arch.PhysAddr(i<<arch.LineShift)
+				f.Hier.Access(src, false, func() {
+					f.Hier.Install(dstPage+arch.PhysAddr(i<<arch.LineShift), true)
+					remaining--
+					if remaining == 0 {
+						cost := p.shootdownAll(pid, vpn)
+						f.Engine.Schedule(cost, func() {
+							f.Hier.AccessCont(res.loc.cacheAddr, true, done)
+						})
+					}
+				})
+			}
+		})
+
+	case writeCOWReuse:
+		// Last sharer: the OS only flips permissions, but still traps and
+		// shoots down stale TLB entries.
+		f.Engine.Schedule(f.Config.COWTrapLatency, func() {
+			cost := p.shootdownAll(pid, vpn)
+			f.Engine.Schedule(cost, func() {
+				f.Hier.AccessCont(res.loc.cacheAddr, true, done)
+			})
+		})
+
+	default:
+		panic("core: timedCOWWrite on non-COW resolution")
+	}
+}
+
+// conventionalFork is fork under conventional sharing: every page goes
+// copy-on-write and the parent's stale TLB entries are flushed.
+func (f *Framework) conventionalFork(parent *vm.Process) *vm.Process {
+	child := f.VM.Fork(parent, false)
+	for _, p := range f.ports {
+		p.TLB.FlushPID(parent.PID)
+	}
+	return child
+}

@@ -1,0 +1,231 @@
+package core_test
+
+// Backend registry and cross-backend behavior: every registered
+// translation backend must provide working fork isolation, deterministic
+// timed execution, and snapshot round-trips. The overlay backend's
+// bit-identity to the pre-refactor framework is covered by the golden
+// tests; these tests hold the other backends to the same structural
+// contract.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+func TestBackendRegistry(t *testing.T) {
+	want := []string{"baseline", "overlay", "utopia", "vbi"}
+	if got := core.Backends(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Backends() = %v, want %v", got, want)
+	}
+	for _, name := range append(core.Backends(), "") {
+		if err := core.ValidBackend(name); err != nil {
+			t.Errorf("ValidBackend(%q) = %v, want nil", name, err)
+		}
+	}
+	err := core.ValidBackend("nope")
+	if err == nil {
+		t.Fatal("ValidBackend accepted an unknown backend")
+	}
+	for _, name := range core.Backends() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ValidBackend error %q does not list %q", err, name)
+		}
+	}
+	var cfg core.Config
+	if got := cfg.BackendName(); got != core.DefaultBackend {
+		t.Errorf("empty Config.BackendName() = %q, want %q", got, core.DefaultBackend)
+	}
+	cfg.Backend = "vbi"
+	if got := cfg.BackendName(); got != "vbi" {
+		t.Errorf("Config.BackendName() = %q, want %q", got, "vbi")
+	}
+	cfg.Backend = "nope"
+	if _, err := core.New(cfg); err == nil {
+		t.Error("core.New accepted an unknown backend")
+	}
+}
+
+// backendConfig is the small-memory config the per-backend tests share.
+func backendConfig(name string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MemoryPages = 4096
+	cfg.OMSInitialFrames = 4
+	cfg.Backend = name
+	return cfg
+}
+
+// nativeMode returns the overlayMode flag a backend's own sharing
+// mechanism uses at fork time: overlay-on-write for the overlay backend,
+// copy-on-write everywhere else.
+func nativeMode(name string) bool { return name == core.DefaultBackend }
+
+func TestBackendForkIsolation(t *testing.T) {
+	const pages = 8
+	for _, name := range core.Backends() {
+		t.Run(name, func(t *testing.T) {
+			f, err := core.New(backendConfig(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parent := f.VM.NewProcess()
+			if err := f.VM.MapAnon(parent, 0, pages); err != nil {
+				t.Fatal(err)
+			}
+			fill := make([]byte, pages*arch.PageSize)
+			for i := range fill {
+				fill[i] = byte(i * 13)
+			}
+			if err := f.Store(parent.PID, 0, fill); err != nil {
+				t.Fatal(err)
+			}
+			if f.MetadataBytes() <= 0 {
+				t.Errorf("MetadataBytes() = %d for a mapped footprint, want > 0", f.MetadataBytes())
+			}
+			if got := f.Backend().Name(); got != name {
+				t.Errorf("Backend().Name() = %q, want %q", got, name)
+			}
+
+			child := f.Fork(parent, nativeMode(name))
+
+			// The child observes the parent's pre-fork contents.
+			got := make([]byte, pages*arch.PageSize)
+			if err := f.Load(child.PID, 0, got); err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(fill) {
+				t.Error("child does not observe the parent's pre-fork contents")
+			}
+
+			// A child write stays private to the child.
+			if err := f.Store(child.PID, 3*arch.PageSize+7, []byte{0xAB}); err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 1)
+			if err := f.Load(parent.PID, 3*arch.PageSize+7, b); err != nil {
+				t.Fatal(err)
+			}
+			if b[0] != fill[3*arch.PageSize+7] {
+				t.Errorf("child write leaked into parent: %#x", b[0])
+			}
+
+			// A parent write stays private to the parent.
+			if err := f.Store(parent.PID, 5*arch.PageSize+1, []byte{0xCD}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Load(child.PID, 5*arch.PageSize+1, b); err != nil {
+				t.Fatal(err)
+			}
+			if b[0] != fill[5*arch.PageSize+1] {
+				t.Errorf("parent write leaked into child: %#x", b[0])
+			}
+		})
+	}
+}
+
+// TestBackendTimedDeterminism runs the same timed trace twice on fresh
+// frameworks per backend and requires identical cycles and counters.
+func TestBackendTimedDeterminism(t *testing.T) {
+	const pages = 16
+	instrs := equivTrace(pages)
+	runOnce := func(name string) (sim uint64, stats string) {
+		t.Helper()
+		f, err := core.New(backendConfig(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := f.VM.NewProcess()
+		if err := f.VM.MapAnon(p, 0, pages); err != nil {
+			t.Fatal(err)
+		}
+		c := cpu.New(f.Engine, f.NewPort(), p.PID, cpu.NewSliceTrace(instrs))
+		c.Run(0, nil)
+		f.Engine.Run()
+		return uint64(c.Cycles()), f.Engine.Stats.String()
+	}
+	for _, name := range core.Backends() {
+		t.Run(name, func(t *testing.T) {
+			c1, s1 := runOnce(name)
+			c2, s2 := runOnce(name)
+			if c1 != c2 {
+				t.Errorf("cycles diverge across identical runs: %d vs %d", c1, c2)
+			}
+			if s1 != s2 {
+				t.Errorf("counter registries diverge across identical runs\nfirst:\n%s\nsecond:\n%s", s1, s2)
+			}
+			if c1 == 0 {
+				t.Error("timed run retired no cycles")
+			}
+		})
+	}
+}
+
+// TestBackendSnapshotEquivalence parameterizes the fork-matches-parent
+// check over every backend: a framework captured at a quiescence point
+// and resumed via NewFromSnapshot must replay the parent's remaining
+// execution exactly, including backend-private state carried through
+// SnapshotState/RestoreState.
+func TestBackendSnapshotEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot equivalence sweep is not short")
+	}
+	const pages = 16
+	instrs := equivTrace(pages)
+	for _, name := range core.Backends() {
+		t.Run(name, func(t *testing.T) {
+			cfg := backendConfig(name)
+			build := func() (*core.Framework, *cpu.Core, arch.PID) {
+				f, err := core.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := f.VM.NewProcess()
+				if err := f.VM.MapAnon(p, 0, pages); err != nil {
+					t.Fatal(err)
+				}
+				fill := make([]byte, pages*arch.PageSize)
+				for i := range fill {
+					fill[i] = byte(i * 31)
+				}
+				if err := f.Store(p.PID, 0, fill); err != nil {
+					t.Fatal(err)
+				}
+				return f, cpu.New(f.Engine, f.NewPort(), p.PID, cpu.NewSliceTrace(instrs)), p.PID
+			}
+
+			pf, pc, pid := build()
+			pc.Run(1500, nil)
+			pf.Engine.Run()
+			snap := pf.Snapshot()
+			cpuSnap := pc.Snapshot()
+			fetched := pc.Fetched()
+			pc.Run(0, nil)
+			pf.Engine.Run()
+
+			ff := core.NewFromSnapshot(snap)
+			trace := cpu.NewSliceTrace(instrs)
+			for i := uint64(0); i < fetched; i++ {
+				trace.Next()
+			}
+			fc := cpu.New(ff.Engine, ff.Port(0), pid, trace)
+			fc.Restore(cpuSnap)
+			fc.Run(0, nil)
+			ff.Engine.Run()
+
+			if pc.Cycles() != fc.Cycles() {
+				t.Errorf("cycles diverge: parent %d, fork %d", pc.Cycles(), fc.Cycles())
+			}
+			if p, f := pf.Engine.Stats.String(), ff.Engine.Stats.String(); p != f {
+				t.Errorf("registries diverge\nparent:\n%s\nfork:\n%s", p, f)
+			}
+			if pf.MetadataBytes() != ff.MetadataBytes() {
+				t.Errorf("metadata footprint diverges: parent %d, fork %d",
+					pf.MetadataBytes(), ff.MetadataBytes())
+			}
+		})
+	}
+}

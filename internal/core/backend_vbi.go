@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+// vbiBackend models the Virtual Block Interface (Hajinazar et al., ISCA
+// 2020): caches are virtually tagged, so cores perform no translation at
+// all — a load pays only the permission check folded into the L1 access.
+// Translation is delegated to the memory translation layer (MTL) at the
+// memory controller, which resolves LLC misses through a small mapping
+// cache in front of flat per-block tables. Because tags never change
+// when a block moves between physical frames, copy-on-write resolves as
+// a controller-side remap: no OS trap, no TLB shootdown, no cache retag
+// — the new frame is populated by a background copy that only costs
+// DRAM bandwidth.
+//
+// The simulator reuses the Overlay Address Space encoding (pid, vpn,
+// line packed under a tag bit) as VBI's virtual block tags: every cache
+// access under this backend is tagged OverlayPage(pid, vpn).LineAddr(l),
+// and the controller is the only place those tags meet physical frames.
+type vbiBackend struct {
+	f *Framework
+
+	// mtl is the controller's mapping cache: set-associative exact-LRU
+	// over (pid, vpn) → PPN.
+	mtl      [][]mtlWay
+	mtlClock uint64
+
+	mtlHits      *uint64
+	mtlMisses    *uint64
+	blockCopies  *uint64
+	remapReuses  *uint64
+	staleFetches *uint64
+}
+
+type mtlWay struct {
+	valid bool
+	pid   arch.PID
+	vpn   arch.VPN
+	ppn   arch.PPN
+	stamp uint64
+}
+
+const mtlWays = 8
+
+func init() {
+	RegisterBackend("vbi", func(f *Framework) TranslationBackend {
+		b := &vbiBackend{
+			f:            f,
+			mtlHits:      f.Engine.Stats.Counter("vbi.mtl_hits"),
+			mtlMisses:    f.Engine.Stats.Counter("vbi.mtl_misses"),
+			blockCopies:  f.Engine.Stats.Counter("vbi.block_copies"),
+			remapReuses:  f.Engine.Stats.Counter("vbi.remap_reuses"),
+			staleFetches: f.Engine.Stats.Counter("vbi.stale_fetches"),
+		}
+		sets := f.Config.VBIMTLEntries / mtlWays
+		if sets < 1 {
+			sets = 1
+		}
+		b.mtl = make([][]mtlWay, sets)
+		backing := make([]mtlWay, sets*mtlWays)
+		for i := range b.mtl {
+			b.mtl[i], backing = backing[:mtlWays], backing[mtlWays:]
+		}
+		return b
+	})
+}
+
+func (b *vbiBackend) Name() string { return "vbi" }
+
+func vbiTag(pid arch.PID, vpn arch.VPN, line int) arch.PhysAddr {
+	return arch.OverlayPage(pid, vpn).LineAddr(line)
+}
+
+func (b *vbiBackend) mtlSet(pid arch.PID, vpn arch.VPN) []mtlWay {
+	h := (uint64(vpn) ^ uint64(pid)<<4) % uint64(len(b.mtl))
+	return b.mtl[h]
+}
+
+func (b *vbiBackend) mtlLookup(pid arch.PID, vpn arch.VPN) (arch.PPN, bool) {
+	s := b.mtlSet(pid, vpn)
+	for i := range s {
+		if s[i].valid && s[i].pid == pid && s[i].vpn == vpn {
+			b.mtlClock++
+			s[i].stamp = b.mtlClock
+			return s[i].ppn, true
+		}
+	}
+	return 0, false
+}
+
+// mtlInsert installs (or refreshes) a mapping, evicting the set's LRU.
+func (b *vbiBackend) mtlInsert(pid arch.PID, vpn arch.VPN, ppn arch.PPN) {
+	s := b.mtlSet(pid, vpn)
+	victim := 0
+	for i := range s {
+		if s[i].valid && s[i].pid == pid && s[i].vpn == vpn {
+			victim = i
+			break
+		}
+		if !s[i].valid {
+			victim = i
+			break
+		}
+		if s[i].stamp < s[victim].stamp {
+			victim = i
+		}
+	}
+	b.mtlClock++
+	s[victim] = mtlWay{valid: true, pid: pid, vpn: vpn, ppn: ppn, stamp: b.mtlClock}
+}
+
+// Walk exists for interface completeness: no TLB miss ever reaches it
+// because VBI cores do not translate. It answers conventionally.
+func (b *vbiBackend) Walk(pid arch.PID, vpn arch.VPN) (tlb.Entry, sim.Cycle, bool) {
+	e, ok := b.f.conventionalWalk(pid, vpn)
+	return e, b.f.Config.TLB.WalkLatency, ok
+}
+
+// ReadTarget tags the access virtually; the only core-side cost is the
+// permission check riding the L1 probe. Faults surface at the controller
+// (an unmapped block has no translation when its miss arrives).
+func (b *vbiBackend) ReadTarget(p *Port, pid arch.PID, va arch.VirtAddr) (arch.PhysAddr, sim.Cycle) {
+	return vbiTag(pid, va.Page(), va.Line()), b.f.Config.TLB.L1Latency
+}
+
+func (b *vbiBackend) WriteLatency(p *Port, pid arch.PID, va arch.VirtAddr) sim.Cycle {
+	return b.f.Config.TLB.L1Latency
+}
+
+func (b *vbiBackend) Write(p *Port, pid arch.PID, va arch.VirtAddr, done sim.Cont) {
+	f := b.f
+	proc, ok := f.VM.Process(pid)
+	if !ok {
+		panic(fmt.Sprintf("core: no process %d", pid))
+	}
+	vpn, line := va.Page(), va.Line()
+	res, err := b.ResolveWrite(proc, vpn, line)
+	if err != nil {
+		panic(err)
+	}
+	target := vbiTag(pid, vpn, line)
+	switch res.kind {
+	case writePlain:
+		f.Hier.AccessCont(target, true, done)
+
+	case writeVBIRemap:
+		// The controller remaps the block: the store stalls only for the
+		// MTL update round-trip. The old frame's contents move to the new
+		// frame in the background — the copy costs DRAM write bandwidth
+		// (64 line writes) but never blocks the core, and the virtual tags
+		// mean no cached line moves or invalidates.
+		if res.srcCacheAddr != res.loc.cacheAddr { // full copy, not a last-sharer reuse
+			dstPage := res.loc.cacheAddr.PageAligned()
+			for i := 0; i < arch.LinesPerPage; i++ {
+				f.DRAM.Write(dstPage+arch.PhysAddr(i<<arch.LineShift), nil)
+			}
+		}
+		f.Engine.Schedule(f.Config.VBIRemapLatency, func() {
+			f.Hier.AccessCont(target, true, done)
+		})
+
+	default:
+		panic("core: unknown write kind")
+	}
+}
+
+func (b *vbiBackend) ResolveRead(proc *vm.Process, vpn arch.VPN, line int) (lineLoc, error) {
+	return b.f.conventionalResolveRead(proc, vpn, line)
+}
+
+// ResolveWrite resolves stores through the flat block tables: writable
+// blocks store in place; shared (COW) blocks are remapped by the
+// controller with a background copy — VBI's no-trap, no-shootdown CoW.
+func (b *vbiBackend) ResolveWrite(proc *vm.Process, vpn arch.VPN, line int) (writeResolution, error) {
+	f := b.f
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return writeResolution{}, fmt.Errorf("core: write fault at pid %d vpn %#x", proc.PID, uint64(vpn))
+	}
+	if pte.Writable {
+		*f.plainWrites++
+		return writeResolution{kind: writePlain, loc: physLineLoc(pte.PPN, line)}, nil
+	}
+	if pte.COW {
+		oldPPN := pte.PPN
+		_, copied, err := f.VM.BreakCOW(proc, vpn)
+		if err != nil {
+			return writeResolution{}, err
+		}
+		pte = proc.Table.Lookup(vpn)
+		// The controller performed the remap; its mapping cache holds the
+		// fresh translation.
+		b.mtlInsert(proc.PID, vpn, pte.PPN)
+		res := writeResolution{
+			kind:         writeVBIRemap,
+			loc:          physLineLoc(pte.PPN, line),
+			srcCacheAddr: arch.PhysAddrOf(oldPPN, 0),
+		}
+		if copied {
+			*b.blockCopies++
+		} else {
+			*b.remapReuses++
+			res.srcCacheAddr = res.loc.cacheAddr // reuse: nothing to copy
+		}
+		return res, nil
+	}
+	return writeResolution{}, fmt.Errorf("core: protection fault: write to read-only pid %d vpn %#x", proc.PID, uint64(vpn))
+}
+
+// Fetch translates a virtual-block miss at the controller: MTL cache
+// probe, then a flat block-table walk on a miss.
+func (b *vbiBackend) Fetch(addr arch.PhysAddr, done sim.Cont) {
+	f := b.f
+	if !addr.IsOverlay() {
+		f.DRAM.ReadCont(addr, done)
+		return
+	}
+	opn := arch.OverlayPageOf(addr)
+	pid, vpn := arch.SplitOverlayPage(opn)
+	ppn, hit := b.mtlLookup(pid, vpn)
+	lat := f.Config.VBIMTLHitLatency
+	if hit {
+		*b.mtlHits++
+	} else {
+		*b.mtlMisses++
+		lat = f.Config.VBIMTLMissLatency
+		var ok bool
+		ppn, ok = b.tableWalk(pid, vpn)
+		if !ok {
+			// Block unmapped (e.g. the owner exited with lines in flight):
+			// zero-fill after the failed walk.
+			*b.staleFetches++
+			f.Engine.ScheduleCont(lat, done)
+			return
+		}
+		b.mtlInsert(pid, vpn, ppn)
+	}
+	target := arch.PhysAddrOf(ppn, uint64(addr.Line())<<arch.LineShift)
+	f.Engine.Schedule(lat, func() {
+		f.DRAM.ReadCont(target, done)
+	})
+}
+
+func (b *vbiBackend) WriteBack(addr arch.PhysAddr) {
+	f := b.f
+	if !addr.IsOverlay() {
+		f.DRAM.Write(addr, nil)
+		return
+	}
+	opn := arch.OverlayPageOf(addr)
+	pid, vpn := arch.SplitOverlayPage(opn)
+	ppn, hit := b.mtlLookup(pid, vpn)
+	if hit {
+		*b.mtlHits++
+	} else {
+		*b.mtlMisses++
+		var ok bool
+		ppn, ok = b.tableWalk(pid, vpn)
+		if !ok {
+			*b.staleFetches++
+			return
+		}
+		b.mtlInsert(pid, vpn, ppn)
+	}
+	f.DRAM.Write(arch.PhysAddrOf(ppn, uint64(addr.Line())<<arch.LineShift), nil)
+}
+
+func (b *vbiBackend) tableWalk(pid arch.PID, vpn arch.VPN) (arch.PPN, bool) {
+	proc, ok := b.f.VM.Process(pid)
+	if !ok {
+		return 0, false
+	}
+	pte := proc.Table.Lookup(vpn)
+	if pte == nil {
+		return 0, false
+	}
+	return pte.PPN, true
+}
+
+// OnMiss feeds the stream prefetcher directly: VBI streams run in the
+// virtual block space, which is exactly where unit strides live.
+func (b *vbiBackend) OnMiss(addr arch.PhysAddr) {
+	b.f.Prefetch.OnMiss(addr)
+}
+
+// Fork shares every page copy-on-write. No TLB flush is needed — cores
+// hold no translations — and the parent's cached lines stay valid
+// because their tags are virtual.
+func (b *vbiBackend) Fork(parent *vm.Process, overlayMode bool) *vm.Process {
+	return b.f.VM.Fork(parent, false)
+}
+
+// MetadataBytes models VBI's flat per-block tables (4 B per mapped
+// block) plus the MTL mapping cache's tag store (16 B per entry).
+func (b *vbiBackend) MetadataBytes() int {
+	return b.f.VM.MappedPages()*4 + len(b.mtl)*mtlWays*16
+}
+
+// vbiSnapshot carries the MTL across Snapshot/NewFromSnapshot.
+type vbiSnapshot struct {
+	mtl      [][]mtlWay
+	mtlClock uint64
+}
+
+func (b *vbiBackend) SnapshotState() any {
+	s := &vbiSnapshot{mtlClock: b.mtlClock, mtl: make([][]mtlWay, len(b.mtl))}
+	backing := make([]mtlWay, len(b.mtl)*mtlWays)
+	for i := range b.mtl {
+		s.mtl[i], backing = backing[:mtlWays], backing[mtlWays:]
+		copy(s.mtl[i], b.mtl[i])
+	}
+	return s
+}
+
+func (b *vbiBackend) RestoreState(state any) {
+	if state == nil {
+		return
+	}
+	s := state.(*vbiSnapshot)
+	b.mtlClock = s.mtlClock
+	for i := range s.mtl {
+		copy(b.mtl[i], s.mtl[i])
+	}
+}

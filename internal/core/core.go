@@ -53,6 +53,26 @@ type Config struct {
 	// COWTrapLatency is the OS entry/exit overhead of a conventional
 	// copy-on-write page fault.
 	COWTrapLatency sim.Cycle
+
+	// Backend selects the translation backend ("" = "overlay"). See
+	// TranslationBackend and Backends() for the registered designs.
+	Backend string
+
+	// VBI models the Virtual Block Interface's memory translation layer
+	// (MTL) at the controller: a small mapping cache in front of the flat
+	// per-block tables, plus the controller-side remap that replaces the
+	// OS COW trap (caches are virtually tagged, so no core is disturbed).
+	VBIMTLEntries     int       // MTL mapping-cache capacity (translations)
+	VBIMTLHitLatency  sim.Cycle // MTL cache hit
+	VBIMTLMissLatency sim.Cycle // flat block-table walk on MTL miss
+	VBIRemapLatency   sim.Cycle // critical-path cost of a controller-side COW remap
+
+	// Utopia's RestSeg: a hash-indexed restrictive set whose members
+	// translate with a cheap computed walk; everything else falls back to
+	// the conventional flexible walk (TLB.WalkLatency).
+	UtopiaRestSets        int       // RestSeg sets
+	UtopiaRestWays        int       // RestSeg associativity
+	UtopiaRestWalkLatency sim.Cycle // walk cost for RestSeg-resident pages
 }
 
 // DefaultConfig returns the Table 2 system with 64 Ki frames (256 MB).
@@ -67,6 +87,15 @@ func DefaultConfig() Config {
 		Prefetch:            prefetch.DefaultConfig(),
 		OverlayRemapLatency: 50,
 		COWTrapLatency:      1500,
+
+		VBIMTLEntries:     1024,
+		VBIMTLHitLatency:  10,
+		VBIMTLMissLatency: 500,
+		VBIRemapLatency:   200,
+
+		UtopiaRestSets:        1024,
+		UtopiaRestWays:        4,
+		UtopiaRestWalkLatency: 150,
 	}
 }
 
@@ -83,6 +112,10 @@ type Framework struct {
 	DRAM     *dram.Controller
 	Hier     *cache.Hierarchy
 	Prefetch *prefetch.Prefetcher
+
+	// backend is the pluggable translation mechanism every translation-
+	// touching path below routes through (see TranslationBackend).
+	backend TranslationBackend
 
 	// accessLat collects the end-to-end latency of every timed port
 	// access (translation through cache/DRAM completion).
@@ -140,6 +173,9 @@ type ovlReq struct {
 // New assembles a framework. It panics only on programmer error; resource
 // exhaustion is reported as an error.
 func New(cfg Config) (*Framework, error) {
+	if err := ValidBackend(cfg.Backend); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	engine := sim.NewEngine()
 	memory := mem.New(cfg.MemoryPages)
 	store, err := oms.New(memory, &engine.Stats, cfg.OMSInitialFrames)
@@ -165,7 +201,7 @@ func assemble(cfg Config, engine *sim.Engine, memory *mem.Memory, store *oms.Sto
 	}
 	f.OMTCache = omt.NewCache(cfg.OMTCache, f.OMTTable, &engine.Stats)
 	f.DRAM = dram.New(engine, cfg.DRAM)
-	f.Hier = cache.NewHierarchy(engine, cfg.Cache, (*backend)(f))
+	f.Hier = cache.NewHierarchy(engine, cfg.Cache, (*memCtrl)(f))
 	f.Prefetch = prefetch.New(cfg.Prefetch, f.Hier, &engine.Stats)
 	f.Hier.SetPrefetcher((*missDispatcher)(f))
 	f.accessLat = engine.Stats.Histogram("core.access_cycles")
@@ -183,7 +219,7 @@ func assemble(cfg Config, engine *sim.Engine, memory *mem.Memory, store *oms.Sto
 	}
 	f.writeFireFn = func(idx uint64) {
 		a := &f.acc[idx]
-		a.port.writeAfterTranslate(a.pid, a.va, sim.Bind(f.accDoneFn, idx))
+		f.backend.Write(a.port, a.pid, a.va, sim.Bind(f.accDoneFn, idx))
 	}
 	f.accDoneFn = func(idx uint64) {
 		a := f.acc[idx] // copy: done may start accesses that reuse the slot
@@ -216,6 +252,11 @@ func assemble(cfg Config, engine *sim.Engine, memory *mem.Memory, store *oms.Sto
 		}
 		f.DRAM.Write(target, nil)
 	}
+	mk, ok := backendRegistry[cfg.BackendName()]
+	if !ok {
+		panic("core: unknown backend " + cfg.BackendName())
+	}
+	f.backend = mk(f)
 	return f
 }
 
@@ -264,32 +305,13 @@ func (f *Framework) SetTrace(t *sim.TraceLog) {
 	f.OMS.AttachTrace(t, f.Engine.Now)
 }
 
-// missDispatcher feeds L2 demand misses to the stream prefetcher (for
-// both regular and overlay addresses — overlay lines form streams in the
-// Overlay Address Space just as well) and, for overlay misses, primes the
-// memory controller's OMT cache with the next overlay-bearing page so
-// page-sequential overlay traffic never exposes the 1000-cycle OMT walk
-// on demand. The OBitVector-walking prefetcher of the overlay computation
-// model is driven from Port.ReadOverlay instead (§5.2 accesses only).
+// missDispatcher routes the hierarchy's L2 demand-miss notifications to
+// the translation backend (prefetcher feeding plus any controller-side
+// metadata priming the backend does).
 type missDispatcher Framework
 
 func (d *missDispatcher) OnMiss(addr arch.PhysAddr) {
-	f := (*Framework)(d)
-	if !addr.IsOverlay() {
-		f.Prefetch.OnMiss(addr)
-		return
-	}
-	// Overlay miss: the controller holds the page's OBitVector, so it
-	// feeds the stream prefetcher only when the overlay is dense enough
-	// for unit-stride streams to be real lines — on sparse overlays a
-	// blind stream would fetch mostly absent (zero-fill) lines and
-	// pollute the L3. Sparse overlays are covered by the OBitVector
-	// walker on the §5.2 path instead.
-	opn := arch.OverlayPageOf(addr)
-	if f.OMTTable.Get(opn).OBits.Count() >= arch.LinesPerPage*3/4 {
-		f.Prefetch.OnMiss(addr)
-	}
-	f.primeNextOMTEntry(opn)
+	(*Framework)(d).backend.OnMiss(addr)
 }
 
 // omtPrimeScan bounds how far the controller looks ahead for the next
@@ -399,63 +421,26 @@ func (f *Framework) NewPort() *Port {
 	return p
 }
 
-// walker adapts the framework to the TLB's page-walk interface: the
-// 1000-cycle walk reads the page tables and, for overlay-enabled pages,
-// the OMT entry that supplies the OBitVector.
+// walker adapts the framework to the TLB's page-walk interface; the
+// concrete walk (conventional tables, OMT-augmented, RestSeg-hashed) is
+// the translation backend's.
 type walker Framework
 
-func (w *walker) Walk(pid arch.PID, vpn arch.VPN) (tlb.Entry, bool) {
-	f := (*Framework)(w)
-	proc, ok := f.VM.Process(pid)
-	if !ok {
-		return tlb.Entry{}, false
-	}
-	pte := proc.Table.Lookup(vpn)
-	if pte == nil {
-		return tlb.Entry{}, false
-	}
-	e := tlb.Entry{
-		PPN:        pte.PPN,
-		COW:        pte.COW,
-		Writable:   pte.Writable,
-		HasOverlay: pte.Overlay,
-	}
-	if pte.Overlay || pte.Shadow {
-		e.OBits = f.OMTTable.Get(arch.OverlayPage(pid, vpn)).OBits
-	}
-	return e, true
+func (w *walker) Walk(pid arch.PID, vpn arch.VPN) (tlb.Entry, sim.Cycle, bool) {
+	return (*Framework)(w).backend.Walk(pid, vpn)
 }
 
-// backend adapts the framework to the cache hierarchy's miss interface:
-// the memory controller of Fig. 6. Regular addresses go straight to DRAM;
-// overlay addresses are resolved through the OMT cache and the Overlay
-// Memory Store's segment metadata.
-type backend Framework
+// memCtrl adapts the framework to the cache hierarchy's miss interface:
+// the memory controller of Fig. 6. How an LLC miss or write-back is
+// located in main memory is the translation backend's decision.
+type memCtrl Framework
 
-func (b *backend) Fetch(addr arch.PhysAddr, done sim.Cont) {
-	f := (*Framework)(b)
-	if !addr.IsOverlay() {
-		f.DRAM.ReadCont(addr, done)
-		return
-	}
-	opn := arch.OverlayPageOf(addr)
-	entry, lat := f.OMTCache.Lookup(opn)
-	idx, r := f.newOvl()
-	r.entry, r.line, r.done = entry, addr.Line(), done
-	f.Engine.ScheduleArg(lat, f.ovlFetchFn, uint64(idx))
+func (m *memCtrl) Fetch(addr arch.PhysAddr, done sim.Cont) {
+	(*Framework)(m).backend.Fetch(addr, done)
 }
 
-func (b *backend) WriteBack(addr arch.PhysAddr) {
-	f := (*Framework)(b)
-	if !addr.IsOverlay() {
-		f.DRAM.Write(addr, nil)
-		return
-	}
-	opn := arch.OverlayPageOf(addr)
-	entry, lat := f.OMTCache.Lookup(opn)
-	idx, r := f.newOvl()
-	r.entry, r.line, r.done = entry, addr.Line(), sim.Cont{}
-	f.Engine.ScheduleArg(lat, f.ovlWBFn, uint64(idx))
+func (m *memCtrl) WriteBack(addr arch.PhysAddr) {
+	(*Framework)(m).backend.WriteBack(addr)
 }
 
 // locateOverlayLine resolves (entry, line) to a main-memory address,

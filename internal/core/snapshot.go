@@ -49,6 +49,7 @@ type Snapshot struct {
 	hier     *cache.HierarchySnapshot
 	prefetch *prefetch.Snapshot
 	ports    []portSnapshot
+	backend  any // backend-private state (TranslationBackend.SnapshotState)
 }
 
 // Snapshot captures the framework. It panics if any access is still in
@@ -72,6 +73,7 @@ func (f *Framework) Snapshot() *Snapshot {
 		dram:     f.DRAM.Snapshot(),
 		hier:     f.Hier.Snapshot(),
 		prefetch: f.Prefetch.Snapshot(),
+		backend:  f.backend.SnapshotState(),
 	}
 	for _, p := range f.ports {
 		s.ports = append(s.ports, portSnapshot{
@@ -110,6 +112,7 @@ func NewFromSnapshot(s *Snapshot) *Framework {
 	f.DRAM.Restore(s.dram)
 	f.Hier.Restore(s.hier)
 	f.Prefetch.Restore(s.prefetch)
+	f.backend.RestoreState(s.backend)
 	for _, ps := range s.ports {
 		p := f.NewPort()
 		p.TLB.Restore(ps.tlb)

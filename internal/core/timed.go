@@ -25,20 +25,11 @@ func (p *Port) Read(pid arch.PID, va arch.VirtAddr, done func()) {
 	p.ReadCont(pid, va, sim.ContOf(done))
 }
 
-// ReadCont is the continuation form of Read.
+// ReadCont is the continuation form of Read. Translation (target tag and
+// latency) is the backend's; the access bookkeeping is shared.
 func (p *Port) ReadCont(pid arch.PID, va arch.VirtAddr, done sim.Cont) {
 	f := p.f
-	entry, lat, ok := p.TLB.Lookup(pid, va.Page())
-	if !ok {
-		panic(fmt.Sprintf("core: timed read fault at pid %d va %#x", pid, uint64(va)))
-	}
-	line := va.Line()
-	var target arch.PhysAddr
-	if entry.HasOverlay && entry.OBits.Has(line) {
-		target = arch.OverlayPage(pid, va.Page()).LineAddr(line)
-	} else {
-		target = arch.PhysAddrOf(entry.PPN, uint64(line)<<arch.LineShift)
-	}
+	target, lat := f.backend.ReadTarget(p, pid, va)
 	idx, a := f.newAccess()
 	a.start, a.done, a.target = f.Engine.Now(), done, target
 	f.Engine.ScheduleArg(lat, f.readFireFn, uint64(idx))
@@ -86,83 +77,15 @@ func (p *Port) Write(pid arch.PID, va arch.VirtAddr, done func()) {
 	p.WriteCont(pid, va, sim.ContOf(done))
 }
 
-// WriteCont is the continuation form of Write.
+// WriteCont is the continuation form of Write. The backend charges the
+// translation latency here and resolves the store structurally when the
+// pre-bound writeFireFn fires.
 func (p *Port) WriteCont(pid arch.PID, va arch.VirtAddr, done sim.Cont) {
 	f := p.f
-	_, lat, ok := p.TLB.Lookup(pid, va.Page())
-	if !ok {
-		panic(fmt.Sprintf("core: timed write fault at pid %d va %#x", pid, uint64(va)))
-	}
+	lat := f.backend.WriteLatency(p, pid, va)
 	idx, a := f.newAccess()
 	a.start, a.done, a.port, a.pid, a.va = f.Engine.Now(), done, p, pid, va
 	f.Engine.ScheduleArg(lat, f.writeFireFn, uint64(idx))
-}
-
-func (p *Port) writeAfterTranslate(pid arch.PID, va arch.VirtAddr, done sim.Cont) {
-	f := p.f
-	proc, ok := f.VM.Process(pid)
-	if !ok {
-		panic(fmt.Sprintf("core: no process %d", pid))
-	}
-	vpn, line := va.Page(), va.Line()
-	res, err := f.resolveWrite(proc, vpn, line)
-	if err != nil {
-		panic(err)
-	}
-	switch res.kind {
-	case writePlain, writeSimpleOverlay:
-		f.Hier.AccessCont(res.loc.cacheAddr, true, done)
-
-	case writeOverlaying:
-		// §4.3.3: fetch the source line (read-for-ownership), retag the
-		// block into the Overlay Address Space, pay the coherence round,
-		// then the store completes. The fetch is the application's own
-		// write-allocate miss; the remap adds OverlayRemapLatency. The
-		// remaining write flavours are off the hot path, so plain closures
-		// are fine here.
-		f.Hier.Access(res.srcCacheAddr, true, func() {
-			f.Hier.Retag(res.srcCacheAddr, res.loc.cacheAddr)
-			f.Engine.ScheduleCont(f.Config.OverlayRemapLatency, done)
-		})
-
-	case writeCOWCopy:
-		// Conventional copy-on-write (§2.2): trap into the OS, copy all 64
-		// lines of the page (reads issued with full memory-level
-		// parallelism; destination lines are produced into the cache),
-		// shoot down the TLBs, then retry the store on the new page.
-		srcPage := res.srcCacheAddr.PageAligned()
-		dstPage := res.loc.cacheAddr.PageAligned()
-		f.Engine.Schedule(f.Config.COWTrapLatency, func() {
-			remaining := arch.LinesPerPage
-			for i := 0; i < arch.LinesPerPage; i++ {
-				i := i
-				src := srcPage + arch.PhysAddr(i<<arch.LineShift)
-				f.Hier.Access(src, false, func() {
-					f.Hier.Install(dstPage+arch.PhysAddr(i<<arch.LineShift), true)
-					remaining--
-					if remaining == 0 {
-						cost := p.shootdownAll(pid, vpn)
-						f.Engine.Schedule(cost, func() {
-							f.Hier.AccessCont(res.loc.cacheAddr, true, done)
-						})
-					}
-				})
-			}
-		})
-
-	case writeCOWReuse:
-		// Last sharer: the OS only flips permissions, but still traps and
-		// shoots down stale TLB entries.
-		f.Engine.Schedule(f.Config.COWTrapLatency, func() {
-			cost := p.shootdownAll(pid, vpn)
-			f.Engine.Schedule(cost, func() {
-				f.Hier.AccessCont(res.loc.cacheAddr, true, done)
-			})
-		})
-
-	default:
-		panic("core: unknown write kind")
-	}
 }
 
 // shootdownAll invalidates (pid, vpn) in every port's TLB and returns the

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -196,6 +197,33 @@ func (p BenchPlan) cases() []benchCase {
 				for i, r := range results {
 					m[fmt.Sprintf("point%02d.overlay.cycles", i)] = r.OverlayCycles
 					m[fmt.Sprintf("point%02d.dense.cycles", i)] = r.DenseCycles
+				}
+				return m, nil
+			},
+		},
+		{
+			name: "compare",
+			jobs: len(core.Backends()),
+			run: func(ctx context.Context, pool Pool) (map[string]uint64, error) {
+				params := CompareParams{
+					Bench:    p.ForkNames[0],
+					Warm:     p.ForkParams.WarmInstructions,
+					Measure:  p.ForkParams.MeasureInstructions,
+					Matrices: 2,
+				}
+				report, err := RunComparePool(ctx, pool, params)
+				if err != nil {
+					return nil, err
+				}
+				m := make(map[string]uint64, 5*len(report.Backends))
+				for _, b := range report.Backends {
+					m[b.Backend+".fork.cycles"] = b.Fork.Cycles
+					m[b.Backend+".fork.added_bytes"] = uint64(b.Fork.AddedBytes)
+					m[b.Backend+".spmv.csr_cycles"] = b.SpMV.CSRCycles
+					m[b.Backend+".metadata_bytes"] = uint64(b.MetadataBytes)
+					if b.SpMV.OverlayCycles != 0 {
+						m[b.Backend+".spmv.overlay_cycles"] = b.SpMV.OverlayCycles
+					}
 				}
 				return m, nil
 			},

@@ -55,9 +55,14 @@ func (u *tlbUpdater) OnReadExclusive(core int, addr arch.PhysAddr) {
 	}
 }
 
-type staticWalker tlb.Entry
+type staticWalker struct {
+	entry tlb.Entry
+	lat   sim.Cycle
+}
 
-func (w staticWalker) Walk(arch.PID, arch.VPN) (tlb.Entry, bool) { return tlb.Entry(w), true }
+func (w staticWalker) Walk(arch.PID, arch.VPN) (tlb.Entry, sim.Cycle, bool) {
+	return w.entry, w.lat, true
+}
 
 // RunDualCoreDivergence runs the divergence scenario under one mechanism.
 // overlay=true uses overlaying-read-exclusive; false models the
@@ -76,7 +81,10 @@ func RunDualCoreDivergence(overlay bool) DualCoreResult {
 		vpn arch.VPN = 0x40
 		ppn arch.PPN = 0x80
 	)
-	walker := staticWalker(tlb.Entry{PPN: ppn, COW: true, HasOverlay: overlay})
+	walker := staticWalker{
+		entry: tlb.Entry{PPN: ppn, COW: true, HasOverlay: overlay},
+		lat:   tcfg.WalkLatency,
+	}
 	tlbs := []*tlb.TLB{
 		tlb.New(tcfg, walker, &engine.Stats),
 		tlb.New(tcfg, walker, &engine.Stats),

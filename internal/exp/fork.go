@@ -27,6 +27,11 @@ type ForkParams struct {
 	WarmInstructions    uint64
 	MeasureInstructions uint64
 
+	// Backend selects the translation backend ("" = core.DefaultBackend).
+	// Non-overlay backends have no overlay-on-write to offer, so their
+	// CoW and OoW arms coincide.
+	Backend string `json:"backend,omitempty"`
+
 	// SeriesEpoch is the sampling period of the post-fork counter
 	// time-series in cycles (0 selects sim.DefaultEpoch).
 	SeriesEpoch sim.Cycle
@@ -112,7 +117,16 @@ func runMechanism(ctx context.Context, spec workload.Spec, params ForkParams, ov
 	cfg := core.DefaultConfig()
 	// Footprint + room for COW copies + generous OMS headroom.
 	cfg.MemoryPages = spec.Pages*2 + 16384
+	cfg.Backend = params.Backend
 	return runMechanismCfg(ctx, spec, cfg, params, overlayMode)
+}
+
+// backendName resolves an experiment's backend selection ("" = default).
+func backendName(b string) string {
+	if b == "" {
+		return core.DefaultBackend
+	}
+	return b
 }
 
 // phaseSpan opens one experiment-phase span ("fork.warmup",
@@ -229,7 +243,7 @@ type forkFamily struct {
 // state (the benchmark and the warm window; the measured window does
 // not affect it), mirroring the job cache's canonical-spec discipline.
 func forkFamilyKey(spec workload.Spec, params ForkParams) string {
-	return fmt.Sprintf("fork/%s/warm=%d", spec.Name, params.WarmInstructions)
+	return fmt.Sprintf("fork/%s/%s/warm=%d", backendName(params.Backend), spec.Name, params.WarmInstructions)
 }
 
 // warmForkFamily builds a framework, runs the shared pre-fork region
@@ -237,6 +251,7 @@ func forkFamilyKey(spec workload.Spec, params ForkParams) string {
 func warmForkFamily(ctx context.Context, spec workload.Spec, params ForkParams) (*forkFamily, error) {
 	cfg := core.DefaultConfig()
 	cfg.MemoryPages = spec.Pages*2 + 16384
+	cfg.Backend = params.Backend
 	f, err := core.New(cfg)
 	if err != nil {
 		return nil, err

@@ -77,9 +77,25 @@ func TestForkedMatchesCold(t *testing.T) {
 		{Experiment: "linesize", Matrices: 2 + rng.Intn(3)},
 		{Experiment: "sweep", Points: 3 + rng.Intn(2), Rows: 64 * (1 + rng.Intn(2))},
 	}
+	// The property must hold per backend: every non-default backend gets
+	// its own fork leg (the plain fork spec above covers overlay), and the
+	// cross-backend compare experiment must resume bit-identically too.
+	for _, b := range core.Backends() {
+		if b == core.DefaultBackend {
+			continue
+		}
+		specs = append(specs, JobSpec{Experiment: "fork", Bench: bench, Backend: b,
+			Warm: 30_000, Measure: 60_000})
+	}
+	specs = append(specs, JobSpec{Experiment: "compare", Bench: bench,
+		Warm: 30_000, Measure: 60_000, Matrices: 2})
 	for _, spec := range specs {
 		spec := spec
-		t.Run(spec.Experiment, func(t *testing.T) {
+		name := spec.Experiment
+		if spec.Backend != "" {
+			name += "/" + spec.Backend
+		}
+		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			cold, forked := runPair(t, spec)
 			cb, fb := comparableExport(t, cold), comparableExport(t, forked)

@@ -18,13 +18,14 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // Experiments lists the experiment names a JobSpec may carry, in the
 // order the CLI documents them.
-var Experiments = []string{"fork", "spmv", "linesize", "sweep", "dualcore"}
+var Experiments = []string{"fork", "spmv", "linesize", "sweep", "dualcore", "compare"}
 
 // JobSpec is one experiment request in canonical form: the experiment
 // name plus exactly the flags the matching CLI subcommand accepts.
@@ -46,15 +47,23 @@ type JobSpec struct {
 	// either way — so it too is excluded from the cache key.
 	Cold bool `json:"cold,omitempty"`
 
-	// Bench restricts a fork run to one benchmark (empty = all 15).
+	// Bench restricts a fork run to one benchmark (empty = all 15), or
+	// selects the compare experiment's fork benchmark (empty = mcf).
 	Bench string `json:"bench,omitempty"`
+
+	// Backend selects the translation backend. For fork it is the
+	// backend simulated (empty = overlay, filled in by Normalized so the
+	// backend name joins the cache key); for compare it restricts the
+	// run to one backend (empty = all registered).
+	Backend string `json:"backend,omitempty"`
 
 	// Warm and Measure size the fork window in instructions
 	// (0 = the CLI defaults).
 	Warm    uint64 `json:"warm,omitempty"`
 	Measure uint64 `json:"measure,omitempty"`
 
-	// Matrices limits the spmv/linesize suite (0 = all 87).
+	// Matrices limits the spmv/linesize suite (0 = all 87) or sizes the
+	// compare experiment's SpMV subset (0 = 4).
 	Matrices int `json:"matrices,omitempty"`
 
 	// Dense also runs the spmv dense baseline.
@@ -109,8 +118,14 @@ func specDefaults(experiment string) JobSpec {
 	case "fork":
 		p := DefaultForkParams()
 		d.Warm, d.Measure = p.WarmInstructions, p.MeasureInstructions
+		d.Backend = core.DefaultBackend
 	case "sweep":
 		d.Points, d.Rows = 11, 256
+	case "compare":
+		p := DefaultCompareParams()
+		d.Bench = p.Bench
+		d.Warm, d.Measure = p.Warm, p.Measure
+		d.Matrices = p.Matrices
 	}
 	return d
 }
@@ -119,11 +134,20 @@ func specDefaults(experiment string) JobSpec {
 // experiment. It does not validate.
 func (s JobSpec) Normalized() JobSpec {
 	d := specDefaults(s.Experiment)
+	if s.Bench == "" {
+		s.Bench = d.Bench
+	}
+	if s.Backend == "" {
+		s.Backend = d.Backend
+	}
 	if s.Warm == 0 {
 		s.Warm = d.Warm
 	}
 	if s.Measure == 0 {
 		s.Measure = d.Measure
+	}
+	if s.Matrices == 0 {
+		s.Matrices = d.Matrices
 	}
 	if s.Points == 0 {
 		s.Points = d.Points
@@ -169,14 +193,19 @@ func (s JobSpec) Validate() error {
 				problems = append(problems, err.Error())
 			}
 		}
+		if err := core.ValidBackend(s.Backend); err != nil {
+			problems = append(problems, err.Error())
+		}
 	case "spmv":
 		reject("bench", s.Bench != "")
+		reject("backend", s.Backend != "")
 		reject("warm", s.Warm != 0)
 		reject("measure", s.Measure != 0)
 		reject("points", s.Points != 0)
 		reject("rows", s.Rows != 0)
 	case "linesize":
 		reject("bench", s.Bench != "")
+		reject("backend", s.Backend != "")
 		reject("warm", s.Warm != 0)
 		reject("measure", s.Measure != 0)
 		reject("dense", s.Dense)
@@ -184,12 +213,14 @@ func (s JobSpec) Validate() error {
 		reject("rows", s.Rows != 0)
 	case "sweep":
 		reject("bench", s.Bench != "")
+		reject("backend", s.Backend != "")
 		reject("warm", s.Warm != 0)
 		reject("measure", s.Measure != 0)
 		reject("matrices", s.Matrices != 0)
 		reject("dense", s.Dense)
 	case "dualcore":
 		reject("bench", s.Bench != "")
+		reject("backend", s.Backend != "")
 		reject("warm", s.Warm != 0)
 		reject("measure", s.Measure != 0)
 		reject("matrices", s.Matrices != 0)
@@ -197,6 +228,18 @@ func (s JobSpec) Validate() error {
 		reject("points", s.Points != 0)
 		reject("rows", s.Rows != 0)
 		reject("cold", s.Cold)
+	case "compare":
+		reject("dense", s.Dense)
+		reject("points", s.Points != 0)
+		reject("rows", s.Rows != 0)
+		if s.Bench != "" {
+			if _, err := workload.ByName(s.Bench); err != nil {
+				problems = append(problems, err.Error())
+			}
+		}
+		if err := core.ValidBackend(s.Backend); err != nil {
+			problems = append(problems, err.Error())
+		}
 	}
 
 	if s.Parallel < 0 {
@@ -256,11 +299,30 @@ func (s JobSpec) CLIArgs() []string {
 		if n.Bench != "" {
 			args = append(args, "-bench="+n.Bench)
 		}
+		if n.Backend != d.Backend {
+			args = append(args, "-backend="+n.Backend)
+		}
 		if n.Warm != d.Warm {
 			args = append(args, fmt.Sprintf("-warm=%d", n.Warm))
 		}
 		if n.Measure != d.Measure {
 			args = append(args, fmt.Sprintf("-measure=%d", n.Measure))
+		}
+	case "compare":
+		if n.Bench != d.Bench {
+			args = append(args, "-bench="+n.Bench)
+		}
+		if n.Backend != "" {
+			args = append(args, "-backend="+n.Backend)
+		}
+		if n.Warm != d.Warm {
+			args = append(args, fmt.Sprintf("-warm=%d", n.Warm))
+		}
+		if n.Measure != d.Measure {
+			args = append(args, fmt.Sprintf("-measure=%d", n.Measure))
+		}
+		if n.Matrices != d.Matrices {
+			args = append(args, fmt.Sprintf("-matrices=%d", n.Matrices))
 		}
 	case "spmv":
 		if n.Matrices != 0 {
@@ -305,8 +367,15 @@ func SpecFromArgs(args []string) (JobSpec, error) {
 	switch s.Experiment {
 	case "fork":
 		fs.StringVar(&s.Bench, "bench", "", "")
+		fs.StringVar(&s.Backend, "backend", "", "")
 		fs.Uint64Var(&s.Warm, "warm", 0, "")
 		fs.Uint64Var(&s.Measure, "measure", 0, "")
+	case "compare":
+		fs.StringVar(&s.Bench, "bench", "", "")
+		fs.StringVar(&s.Backend, "backend", "", "")
+		fs.Uint64Var(&s.Warm, "warm", 0, "")
+		fs.Uint64Var(&s.Measure, "measure", 0, "")
+		fs.IntVar(&s.Matrices, "matrices", 0, "")
 	case "spmv":
 		fs.IntVar(&s.Matrices, "matrices", 0, "")
 		fs.BoolVar(&s.Dense, "dense", false, "")
@@ -364,7 +433,13 @@ func (s JobSpec) Run(ctx context.Context, pool Pool) (*JobOutput, error) {
 		params := ForkParams{
 			WarmInstructions:    n.Warm,
 			MeasureInstructions: n.Measure,
+			Backend:             n.Backend,
 			SeriesEpoch:         sim.DefaultEpoch,
+		}
+		// The default backend renders as the empty string so the export's
+		// config block is byte-identical to a CLI run without -backend.
+		if params.Backend == core.DefaultBackend {
+			params.Backend = ""
 		}
 		var names []string
 		if n.Bench != "" {
@@ -412,6 +487,21 @@ func (s JobSpec) Run(ctx context.Context, pool Pool) (*JobOutput, error) {
 		}
 		out.Export = sim.NewExport("dualcore")
 		out.Export.Results = results
+	case "compare":
+		params := CompareParams{
+			Bench:    n.Bench,
+			Warm:     n.Warm,
+			Measure:  n.Measure,
+			Matrices: n.Matrices,
+		}
+		if n.Backend != "" {
+			params.Backends = []string{n.Backend}
+		}
+		report, err := RunComparePool(ctx, pool, params)
+		if err != nil {
+			return nil, err
+		}
+		out.Export = CompareExport(params, report)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

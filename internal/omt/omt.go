@@ -95,6 +95,30 @@ func (t *Table) Delete(opn arch.OPN) {
 	}
 }
 
+// Count returns the number of non-empty entries (the OMT's live
+// metadata footprint; translation backends charge bytes per entry).
+func (t *Table) Count() int {
+	return countNode(&t.root, 0)
+}
+
+func countNode(n *node, level int) int {
+	total := 0
+	if level == radixLevels-1 {
+		for i := range n.entries {
+			if !n.entries[i].Empty() {
+				total++
+			}
+		}
+		return total
+	}
+	for _, c := range n.children {
+		if c != nil {
+			total += countNode(c, level+1)
+		}
+	}
+	return total
+}
+
 // Cache is the 64-entry OMT cache in the memory controller (Fig. 6, Ë).
 // It is a latency model over the authoritative Table: entries returned by
 // Lookup point directly into the table, so updates through them are

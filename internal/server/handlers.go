@@ -472,5 +472,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				m, sim.PromEscapeLabel(strconv.Itoa(code)), s.statusCounts[code])
 		}
 	}
+	if len(s.backendCounts) > 0 {
+		const m = "overlaysim_server_jobs_total"
+		fmt.Fprintf(w, "# HELP %s jobs submitted by translation backend\n# TYPE %s counter\n", m, m)
+		backends := make([]string, 0, len(s.backendCounts))
+		for b := range s.backendCounts {
+			backends = append(backends, b)
+		}
+		sort.Strings(backends)
+		for _, b := range backends {
+			fmt.Fprintf(w, "%s{backend=\"%s\"} %d\n",
+				m, sim.PromEscapeLabel(b), s.backendCounts[b])
+		}
+	}
 	sim.WritePrometheus(w, "overlaysim_", s.stats) //nolint:errcheck // client gone
 }

@@ -108,12 +108,14 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	// statsMu guards the telemetry registry; sim.Stats itself is not
-	// concurrency-safe. statusCounts rides under the same lock: the
-	// registry has no labelled counters, so HTTP response statuses are
-	// kept aside and rendered as one {code="NNN"}-labelled series.
-	statsMu      sync.Mutex
-	stats        *sim.Stats
-	statusCounts map[int]uint64
+	// concurrency-safe. statusCounts and backendCounts ride under the
+	// same lock: the registry has no labelled counters, so HTTP response
+	// statuses and per-backend job tallies are kept aside and rendered
+	// as {code="NNN"}- and {backend="name"}-labelled series.
+	statsMu       sync.Mutex
+	stats         *sim.Stats
+	statusCounts  map[int]uint64
+	backendCounts map[string]uint64
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -136,15 +138,16 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:          cfg,
-		baseCtx:      ctx,
-		baseCancel:   cancel,
-		stats:        &sim.Stats{},
-		statusCounts: make(map[int]uint64),
-		jobs:         make(map[string]*job),
-		inflight:     make(map[string]*job),
-		cache:        newResultCache(cfg.CacheSize),
-		queue:        make(chan *job, cfg.QueueDepth),
+		cfg:           cfg,
+		baseCtx:       ctx,
+		baseCancel:    cancel,
+		stats:         &sim.Stats{},
+		statusCounts:  make(map[int]uint64),
+		backendCounts: make(map[string]uint64),
+		jobs:          make(map[string]*job),
+		inflight:      make(map[string]*job),
+		cache:         newResultCache(cfg.CacheSize),
+		queue:         make(chan *job, cfg.QueueDepth),
 	}
 	if cfg.SnapshotCacheSize > 0 {
 		s.snapshots = exp.NewSnapshotCache(cfg.SnapshotCacheSize)
@@ -186,6 +189,9 @@ func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanConte
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.addStat("server.jobs_submitted", 1)
+	s.statsMu.Lock()
+	s.backendCounts[specBackendLabel(spec)]++
+	s.statsMu.Unlock()
 
 	if s.draining {
 		return nil, 503, errors.New("server is draining; not accepting jobs")
@@ -233,6 +239,19 @@ func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanConte
 	return j, 202, nil
 }
 
+// specBackendLabel is the {backend="..."} label value a submitted spec
+// tallies under: the normalized backend name, "all" for a compare run
+// over every backend, or "none" for experiments with no backend knob.
+func specBackendLabel(spec exp.JobSpec) string {
+	if b := spec.Normalized().Backend; b != "" {
+		return b
+	}
+	if spec.Experiment == "compare" {
+		return "all"
+	}
+	return "none"
+}
+
 // startTrace equips a freshly registered job with its tracer and root
 // "job" span. With tracing disabled the job simply carries no tracer
 // and every span operation no-ops.
@@ -244,6 +263,9 @@ func (s *Server) startTrace(j *job, remote obs.SpanContext) {
 	j.span = j.tracer.StartSpan(remote, "job")
 	j.span.SetAttr("job_id", j.id)
 	j.span.SetAttr("experiment", j.spec.Experiment)
+	if b := j.spec.Normalized().Backend; b != "" {
+		j.span.SetAttr("backend", b)
+	}
 	if j.requestID != "" {
 		j.span.SetAttr("request_id", j.requestID)
 	}

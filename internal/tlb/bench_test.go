@@ -10,8 +10,8 @@ import (
 // benchWalker resolves every miss to an identity mapping.
 type benchWalker struct{}
 
-func (benchWalker) Walk(pid arch.PID, vpn arch.VPN) (Entry, bool) {
-	return Entry{PPN: arch.PPN(vpn), Writable: true}, true
+func (benchWalker) Walk(pid arch.PID, vpn arch.VPN) (Entry, sim.Cycle, bool) {
+	return Entry{PPN: arch.PPN(vpn), Writable: true}, DefaultConfig().WalkLatency, true
 }
 
 // BenchmarkTLBLookup measures translations against a warm two-level

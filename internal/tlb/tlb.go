@@ -24,9 +24,13 @@ type Entry struct {
 }
 
 // Walker resolves TLB misses from the page tables (and the OMT, for the
-// OBitVector). ok=false means a page fault.
+// OBitVector). It returns the filled entry plus the cycles the walk
+// itself cost — translation backends with non-uniform walks (hashed
+// restrictive sets, flat block tables) price each miss individually,
+// while the conventional 4-level walk always reports Config.WalkLatency.
+// ok=false means a page fault; the walk latency is still paid.
 type Walker interface {
-	Walk(pid arch.PID, vpn arch.VPN) (Entry, bool)
+	Walk(pid arch.PID, vpn arch.VPN) (Entry, sim.Cycle, bool)
 }
 
 // Config sizes the TLB hierarchy.
@@ -196,10 +200,10 @@ func (t *TLB) Lookup(pid arch.PID, vpn arch.VPN) (Entry, sim.Cycle, bool) {
 		return e, t.cfg.L1Latency + t.cfg.L2Latency, true
 	}
 	*t.misses++
-	lat := t.cfg.L1Latency + t.cfg.L2Latency + t.cfg.WalkLatency
+	e, wlat, ok := t.walker.Walk(pid, vpn)
+	lat := t.cfg.L1Latency + t.cfg.L2Latency + wlat
 	t.lookupLat.Observe(uint64(lat))
 	t.walkLat.Observe(uint64(lat))
-	e, ok := t.walker.Walk(pid, vpn)
 	if !ok {
 		return Entry{}, lat, false
 	}

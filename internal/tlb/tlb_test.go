@@ -20,10 +20,10 @@ func (w *mapWalker) put(pid arch.PID, vpn arch.VPN, e Entry) {
 	w.entries[[2]uint64{uint64(pid), uint64(vpn)}] = e
 }
 
-func (w *mapWalker) Walk(pid arch.PID, vpn arch.VPN) (Entry, bool) {
+func (w *mapWalker) Walk(pid arch.PID, vpn arch.VPN) (Entry, sim.Cycle, bool) {
 	w.walks++
 	e, ok := w.entries[[2]uint64{uint64(pid), uint64(vpn)}]
-	return e, ok
+	return e, DefaultConfig().WalkLatency, ok
 }
 
 func newTLB() (*TLB, *mapWalker, *sim.Stats) {

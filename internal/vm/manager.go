@@ -206,6 +206,19 @@ func (mgr *Manager) Exit(p *Process) {
 	p.Table = &PageTable{}
 }
 
+// MappedPages counts the present PTEs across every live process —
+// the page-table footprint translation backends charge metadata for.
+func (mgr *Manager) MappedPages() int {
+	n := 0
+	for _, p := range mgr.procs {
+		p.Table.Range(func(arch.VPN, *PTE) bool {
+			n++
+			return true
+		})
+	}
+	return n
+}
+
 // ReadBytes copies length bytes starting at va out of the process's
 // memory through the page tables (no overlays; internal/core layers
 // overlay semantics on top).
