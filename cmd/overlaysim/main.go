@@ -9,6 +9,7 @@
 //	overlaysim sweep                  §5.2 sparsity sweep (overlays vs dense)
 //	overlaysim dualcore               extension: divergence with both processes running
 //	overlaysim compare                cross-backend comparison (overlay / baseline / vbi / utopia)
+//	overlaysim omsstress              multi-tenant OMS churn with cooling eviction and spill tier
 //	overlaysim bench                  fixed job matrix: parallel-vs-sequential baseline for CI
 //	overlaysim trace                  record a workload trace / replay one through the simulator
 //	overlaysim stats                  run one fork benchmark and dump all counters
@@ -133,6 +134,7 @@ func commands() []*command {
 		newSweepCmd(),
 		newDualcoreCmd(),
 		newCompareCmd(),
+		newOMSStressCmd(),
 		newBenchCmd(),
 		newTraceCmd(),
 		newStatsCmd(),
@@ -699,6 +701,70 @@ func newCompareCmd() *command {
 			}
 			ex := exp.CompareExport(params, report)
 			snap.Provenance().AttachCounters(ex)
+			return outs.write(ex, nil, nil, finishSpans())
+		},
+	}
+}
+
+func newOMSStressCmd() *command {
+	fs := flag.NewFlagSet("omsstress", flag.ContinueOnError)
+	defaults := exp.DefaultOMSStressParams()
+	tenants := fs.Int("tenants", defaults.Tenants, "concurrent tenant stores")
+	ops := fs.Int("ops", defaults.Ops, "churn operations per tenant")
+	segments := fs.Int("segments", defaults.Segments, "overlay segments per tenant (working-set bound)")
+	capacity := fs.Int("oms-capacity", defaults.Capacity, "frame budget per tenant store (-1 = unlimited, no eviction)")
+	spill := fs.Bool("oms-spill", defaults.Spill, "evict cold segments to the modeled spill tier")
+	shared := fs.Bool("shared", false, "route all tenants through one lock-striped shared store (results are bit-identical either way)")
+	parallel := addParallelFlag(fs)
+	tel := addTelemetryFlags(fs)
+	return &command{
+		name:    "omsstress",
+		summary: "multi-tenant OMS buffer-manager churn: cooling eviction and beyond-DRAM spill",
+		flags:   fs,
+		prof:    addProfileFlags(fs),
+		run: func(stdout, stderr io.Writer) error {
+			pool, err := parsePool(*parallel, stderr)
+			if err != nil {
+				return err
+			}
+			if *tenants < 1 || *ops < 1 || *segments < 1 {
+				return usageError("omsstress: -tenants, -ops and -segments must be >= 1")
+			}
+			// Capacity semantics match the job spec: -1 = unlimited,
+			// 0 normalizes to the default budget.
+			capFrames := *capacity
+			switch {
+			case capFrames < -1:
+				return usageError(fmt.Sprintf("invalid -oms-capacity %d: want a frame count, 0 for the default, or -1 for unlimited", capFrames))
+			case capFrames == -1:
+				capFrames = 0 // unlimited: never hand SetCapacity a budget
+			case capFrames == 0:
+				capFrames = defaults.Capacity
+			}
+			outs, err := tel.open()
+			if err != nil {
+				return err
+			}
+			defer outs.close()
+			params := exp.OMSStressParams{
+				Tenants:  *tenants,
+				Ops:      *ops,
+				Segments: *segments,
+				Capacity: capFrames,
+				Spill:    *spill,
+				Shared:   *shared,
+			}
+			ctx, finishSpans := tel.traceContext("omsstress")
+			results, _, err := exp.RunOMSStressPool(ctx, pool, params)
+			if err != nil {
+				return err
+			}
+			exp.PrintOMSStress(stdout, params, results)
+			if !tel.wanted() {
+				return nil
+			}
+			ex := sim.NewExport("omsstress")
+			ex.Results = results
 			return outs.write(ex, nil, nil, finishSpans())
 		},
 	}

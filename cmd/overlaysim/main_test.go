@@ -261,8 +261,8 @@ func TestBenchCLI(t *testing.T) {
 	if ex.Meta.GoVersion == "" || ex.Meta.Parallel != 2 || ex.Results.Parallel != 2 {
 		t.Errorf("export meta incomplete: %+v", ex.Meta)
 	}
-	if len(ex.Results.Experiments) != 6 {
-		t.Fatalf("export has %d experiments, want 6", len(ex.Results.Experiments))
+	if len(ex.Results.Experiments) != 7 {
+		t.Fatalf("export has %d experiments, want 7", len(ex.Results.Experiments))
 	}
 
 	// Re-running against the just-written baseline must pass the gate.

@@ -37,6 +37,14 @@ const (
 	// physical address with this bit set belongs to the Overlay Address
 	// Space and is not directly backed by main memory.
 	OverlayBit = uint64(1) << 63
+
+	// ColdBit tags an OMS segment handle as a cold (unswizzled) reference
+	// to a segment evicted to the spill tier rather than a direct physical
+	// base address. Direct handles are small DRAM addresses, so the tag can
+	// never collide with a resident segment base; it is also distinct from
+	// OverlayBit, so a cold reference is never mistaken for an overlay
+	// address.
+	ColdBit = uint64(1) << 62
 )
 
 // VirtAddr is a per-process virtual address.
@@ -84,6 +92,10 @@ func (p PhysAddr) Page() uint64 { return uint64(p) >> PageShift }
 
 // IsOverlay reports whether the address lies in the Overlay Address Space.
 func (p PhysAddr) IsOverlay() bool { return uint64(p)&OverlayBit != 0 }
+
+// IsCold reports whether the value is a cold spill-tier reference to an
+// evicted OMS segment rather than a direct (swizzled) segment base.
+func (p PhysAddr) IsCold() bool { return uint64(p)&ColdBit != 0 }
 
 // Line returns the cache-line index within the page.
 func (p PhysAddr) Line() int { return int(uint64(p)&PageMask) >> LineShift }

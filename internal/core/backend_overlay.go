@@ -247,16 +247,30 @@ func (b *overlayBackend) Fork(parent *vm.Process, overlayMode bool) *vm.Process 
 		dstEntry := f.OMTTable.Ref(arch.OverlayPage(child.PID, vpn))
 		var buf [arch.LineSize]byte
 		for _, line := range src.OBits.Lines() {
-			slot, ok := f.OMS.LocateLine(src.SegBase, line)
+			// Re-read the parent's segment handle every iteration and copy
+			// the line out before inserting into the child: the child's
+			// insert may allocate, and at capacity an allocation can spill
+			// the parent's segment (unswizzling srcOPN to a cold reference).
+			segBase := f.OMTTable.Get(srcOPN).SegBase
+			if segBase.IsCold() {
+				resolved, _, err := f.OMS.Resolve(segBase)
+				if err != nil {
+					copyErr = err
+					return false
+				}
+				f.OMTTable.Ref(srcOPN).SegBase = resolved
+				segBase = resolved
+			}
+			slot, ok := f.OMS.LocateLine(segBase, line)
 			if !ok {
 				continue
 			}
+			f.OMS.ReadLineData(slot, buf[:])
 			loc, err := f.overlayInsert(child.PID, vpn, dstEntry, line, nil)
 			if err != nil {
 				copyErr = err
 				return false
 			}
-			f.OMS.ReadLineData(slot, buf[:])
 			f.Mem.WriteLine(loc.ppn, int(loc.off>>arch.LineShift), buf[:])
 		}
 		return true

@@ -39,6 +39,16 @@ type Config struct {
 	MemoryPages      int // physical frames backing main memory
 	OMSInitialFrames int // frames granted to the Overlay Memory Store at boot
 
+	// OMSCapacityFrames bounds the frames the Overlay Memory Store may
+	// own: at the budget, allocations evict cooling segments to the spill
+	// tier instead of growing the store. 0 = unlimited (the paper's
+	// configuration; the pre-buffer-manager behaviour, bit-identical).
+	OMSCapacityFrames int
+	// OMSSpill enables the spill tier when a capacity is set: evicted
+	// segments stay live behind cold OMT references and are refilled on
+	// demand, paying a modeled slow-store latency.
+	OMSSpill bool
+
 	TLB      tlb.Config
 	Cache    cache.HierarchyConfig
 	DRAM     dram.Config
@@ -199,6 +209,16 @@ func assemble(cfg Config, engine *sim.Engine, memory *mem.Memory, store *oms.Sto
 		OMS:      store,
 		OMTTable: table,
 	}
+	// Unswizzle hook: when the store spills a segment, rewrite its owner's
+	// OMT entry to the cold reference. Ref returns the authoritative entry
+	// pointer (the OMT cache hands out the same pointers), so cached
+	// copies observe the rewrite immediately.
+	store.SetEvictHook(func(owner uint64, cold arch.PhysAddr) {
+		f.OMTTable.Ref(arch.OPN(owner)).SegBase = cold
+	})
+	if cfg.OMSCapacityFrames > 0 {
+		store.SetCapacity(cfg.OMSCapacityFrames, cfg.OMSSpill)
+	}
 	f.OMTCache = omt.NewCache(cfg.OMTCache, f.OMTTable, &engine.Stats)
 	f.DRAM = dram.New(engine, cfg.DRAM)
 	f.Hier = cache.NewHierarchy(engine, cfg.Cache, (*memCtrl)(f))
@@ -230,7 +250,7 @@ func assemble(cfg Config, engine *sim.Engine, memory *mem.Memory, store *oms.Sto
 	f.ovlFetchFn = func(idx uint64) {
 		r := f.ovl[idx]
 		f.freeOvl(uint32(idx))
-		target, ok := f.locateOverlayLine(r.entry, r.line)
+		target, penalty, ok := f.locateOverlayLine(r.entry, r.line)
 		if !ok {
 			// No backing slot: the line's data never left the caches (or
 			// a prefetcher ran past the overlay). Zero-fill, no DRAM trip.
@@ -238,16 +258,28 @@ func assemble(cfg Config, engine *sim.Engine, memory *mem.Memory, store *oms.Sto
 			r.done.Invoke()
 			return
 		}
+		if penalty > 0 {
+			// The segment was refilled from the spill tier: the DRAM access
+			// waits out the slow-store latency. Off the hot path (capacity
+			// mode only), so a closure is fine.
+			done := r.done
+			f.Engine.Schedule(penalty, func() { f.DRAM.ReadCont(target, done) })
+			return
+		}
 		f.DRAM.ReadCont(target, r.done)
 	}
 	f.ovlWBFn = func(idx uint64) {
 		r := f.ovl[idx]
 		f.freeOvl(uint32(idx))
-		target, ok := f.locateOverlayLine(r.entry, r.line)
+		target, penalty, ok := f.locateOverlayLine(r.entry, r.line)
 		if !ok {
 			// Promotion discarded the overlay while the dirty line was in
 			// flight; drop the write-back.
 			*f.ovlStaleWBs++
+			return
+		}
+		if penalty > 0 {
+			f.Engine.Schedule(penalty, func() { f.DRAM.Write(target, nil) })
 			return
 		}
 		f.DRAM.Write(target, nil)
@@ -444,15 +476,28 @@ func (m *memCtrl) WriteBack(addr arch.PhysAddr) {
 }
 
 // locateOverlayLine resolves (entry, line) to a main-memory address,
-// guarding against segments freed while a request was in flight.
-func (f *Framework) locateOverlayLine(entry *omt.Entry, line int) (arch.PhysAddr, bool) {
+// guarding against segments freed while a request was in flight. A cold
+// (spilled) segment reference is resolved first — the segment is
+// refilled, the entry re-swizzled to the direct handle, and the returned
+// penalty carries the modeled slow-store latency of the refill.
+func (f *Framework) locateOverlayLine(entry *omt.Entry, line int) (arch.PhysAddr, sim.Cycle, bool) {
 	if entry.SegBase == 0 {
-		return 0, false
+		return 0, 0, false
+	}
+	var penalty sim.Cycle
+	if entry.SegBase.IsCold() {
+		base, p, err := f.OMS.Resolve(entry.SegBase)
+		if err != nil {
+			return 0, 0, false
+		}
+		entry.SegBase = base
+		penalty = p
 	}
 	if _, live := f.OMS.SegmentClass(entry.SegBase); !live {
-		return 0, false
+		return 0, 0, false
 	}
-	return f.OMS.LocateLine(entry.SegBase, line)
+	addr, ok := f.OMS.LocateLine(entry.SegBase, line)
+	return addr, penalty, ok
 }
 
 // broadcastLineUpdate delivers the overlaying-read-exclusive message to

@@ -229,6 +229,31 @@ func (p BenchPlan) cases() []benchCase {
 			},
 		},
 		{
+			name: "omsstress",
+			jobs: 4,
+			run: func(ctx context.Context, pool Pool) (map[string]uint64, error) {
+				// Fixed short-plan sizing: 96 segments per tenant against a
+				// 16-frame budget keeps the cooling queue and spill tier under
+				// steady pressure without dominating the matrix's wall clock.
+				params := OMSStressParams{Tenants: 4, Ops: 8000, Segments: 96, Capacity: 16, Spill: true}
+				results, _, err := RunOMSStressPool(ctx, pool, params)
+				if err != nil {
+					return nil, err
+				}
+				m := make(map[string]uint64, 6*len(results))
+				for _, r := range results {
+					key := fmt.Sprintf("tenant%d", r.Tenant)
+					m[key+".evictions"] = r.Evictions
+					m[key+".spills"] = r.Spills
+					m[key+".refills"] = r.Refills
+					m[key+".spill_penalty_cycles"] = r.PenaltyCycles
+					m[key+".resident_bytes"] = uint64(r.ResidentBytes)
+					m[key+".spilled_bytes"] = uint64(r.SpilledBytes)
+				}
+				return m, nil
+			},
+		},
+		{
 			name: "dualcore",
 			jobs: 2,
 			run: func(ctx context.Context, pool Pool) (map[string]uint64, error) {

@@ -22,7 +22,7 @@ func tinyBenchPlan() BenchPlan {
 	}
 }
 
-// TestRunBenchShape runs the tiny matrix end to end: all six
+// TestRunBenchShape runs the tiny matrix end to end: all seven
 // experiments present, deterministic metrics recorded, wall clocks and
 // speedups populated.
 func TestRunBenchShape(t *testing.T) {
@@ -30,7 +30,7 @@ func TestRunBenchShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"fork", "spmv", "linesize", "sweep", "compare", "dualcore"}
+	want := []string{"fork", "spmv", "linesize", "sweep", "compare", "omsstress", "dualcore"}
 	if len(report.Experiments) != len(want) {
 		t.Fatalf("got %d experiments, want %d", len(report.Experiments), len(want))
 	}

@@ -25,7 +25,7 @@ import (
 
 // Experiments lists the experiment names a JobSpec may carry, in the
 // order the CLI documents them.
-var Experiments = []string{"fork", "spmv", "linesize", "sweep", "dualcore", "compare"}
+var Experiments = []string{"fork", "spmv", "linesize", "sweep", "dualcore", "compare", "omsstress"}
 
 // JobSpec is one experiment request in canonical form: the experiment
 // name plus exactly the flags the matching CLI subcommand accepts.
@@ -73,6 +73,27 @@ type JobSpec struct {
 	// 11 points, 256 rows).
 	Points int `json:"points,omitempty"`
 	Rows   int `json:"rows,omitempty"`
+
+	// Tenants, Ops and Segments size the omsstress churn workload
+	// (0 = the CLI defaults: 4 tenants, 24000 ops, 192 segments).
+	Tenants  int `json:"tenants,omitempty"`
+	Ops      int `json:"ops,omitempty"`
+	Segments int `json:"segments,omitempty"`
+
+	// OMSCapacity is each tenant store's frame budget for omsstress:
+	// 0 = the CLI default (32), -1 = unlimited (no eviction).
+	OMSCapacity int `json:"oms_capacity,omitempty"`
+
+	// NoSpill disables the beyond-DRAM spill tier for omsstress; a
+	// capped store then grants overflow frames and counts overruns
+	// instead of evicting.
+	NoSpill bool `json:"nospill,omitempty"`
+
+	// Shared routes omsstress tenants through one lock-striped shared
+	// store. Like Parallel it is an execution hint only — per-tenant op
+	// streams are private per stripe, so simulated metrics are
+	// bit-identical either way — and is excluded from the cache key.
+	Shared bool `json:"shared,omitempty"`
 }
 
 // JobOutput is what running a spec produces: the same schema-versioned
@@ -126,6 +147,10 @@ func specDefaults(experiment string) JobSpec {
 		d.Bench = p.Bench
 		d.Warm, d.Measure = p.Warm, p.Measure
 		d.Matrices = p.Matrices
+	case "omsstress":
+		p := DefaultOMSStressParams()
+		d.Tenants, d.Ops, d.Segments = p.Tenants, p.Ops, p.Segments
+		d.OMSCapacity = p.Capacity
 	}
 	return d
 }
@@ -154,6 +179,18 @@ func (s JobSpec) Normalized() JobSpec {
 	}
 	if s.Rows == 0 {
 		s.Rows = d.Rows
+	}
+	if s.Tenants == 0 {
+		s.Tenants = d.Tenants
+	}
+	if s.Ops == 0 {
+		s.Ops = d.Ops
+	}
+	if s.Segments == 0 {
+		s.Segments = d.Segments
+	}
+	if s.OMSCapacity == 0 {
+		s.OMSCapacity = d.OMSCapacity
 	}
 	return s
 }
@@ -240,6 +277,24 @@ func (s JobSpec) Validate() error {
 		if err := core.ValidBackend(s.Backend); err != nil {
 			problems = append(problems, err.Error())
 		}
+	case "omsstress":
+		reject("bench", s.Bench != "")
+		reject("backend", s.Backend != "")
+		reject("warm", s.Warm != 0)
+		reject("measure", s.Measure != 0)
+		reject("matrices", s.Matrices != 0)
+		reject("dense", s.Dense)
+		reject("points", s.Points != 0)
+		reject("rows", s.Rows != 0)
+		reject("cold", s.Cold)
+	}
+	if s.Experiment != "omsstress" {
+		reject("tenants", s.Tenants != 0)
+		reject("ops", s.Ops != 0)
+		reject("segments", s.Segments != 0)
+		reject("oms_capacity", s.OMSCapacity != 0)
+		reject("nospill", s.NoSpill)
+		reject("shared", s.Shared)
 	}
 
 	if s.Parallel < 0 {
@@ -257,6 +312,20 @@ func (s JobSpec) Validate() error {
 			problems = append(problems, fmt.Sprintf("invalid rows %d: need at least one cache line of values", n.Rows))
 		}
 	}
+	if s.Experiment == "omsstress" {
+		if n.Tenants < 1 {
+			problems = append(problems, fmt.Sprintf("invalid tenants %d: need at least 1", n.Tenants))
+		}
+		if n.Ops < 1 {
+			problems = append(problems, fmt.Sprintf("invalid ops %d: need at least 1", n.Ops))
+		}
+		if n.Segments < 1 {
+			problems = append(problems, fmt.Sprintf("invalid segments %d: need at least 1", n.Segments))
+		}
+		if n.OMSCapacity < -1 {
+			problems = append(problems, fmt.Sprintf("invalid oms_capacity %d: want a frame count, 0 for the default, or -1 for unlimited", n.OMSCapacity))
+		}
+	}
 	if len(problems) > 0 {
 		return &ValidationError{Problems: problems}
 	}
@@ -271,6 +340,7 @@ func (s JobSpec) CanonicalJSON() []byte {
 	c := s.Normalized()
 	c.Parallel = 0
 	c.Cold = false
+	c.Shared = false
 	b, err := json.Marshal(c)
 	if err != nil {
 		// JobSpec is a plain struct of marshalable fields; Marshal
@@ -342,8 +412,27 @@ func (s JobSpec) CLIArgs() []string {
 		if n.Rows != d.Rows {
 			args = append(args, fmt.Sprintf("-rows=%d", n.Rows))
 		}
+	case "omsstress":
+		if n.Tenants != d.Tenants {
+			args = append(args, fmt.Sprintf("-tenants=%d", n.Tenants))
+		}
+		if n.Ops != d.Ops {
+			args = append(args, fmt.Sprintf("-ops=%d", n.Ops))
+		}
+		if n.Segments != d.Segments {
+			args = append(args, fmt.Sprintf("-segments=%d", n.Segments))
+		}
+		if n.OMSCapacity != d.OMSCapacity {
+			args = append(args, fmt.Sprintf("-oms-capacity=%d", n.OMSCapacity))
+		}
+		if n.NoSpill {
+			args = append(args, "-oms-spill=false")
+		}
+		if n.Shared {
+			args = append(args, "-shared")
+		}
 	}
-	if n.Cold && n.Experiment != "dualcore" {
+	if n.Cold && n.Experiment != "dualcore" && n.Experiment != "omsstress" {
 		args = append(args, "-cold")
 	}
 	if n.Parallel != 0 {
@@ -364,6 +453,7 @@ func SpecFromArgs(args []string) (JobSpec, error) {
 	s := JobSpec{Experiment: args[0]}
 	fs := flag.NewFlagSet(s.Experiment, flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
+	omsSpill := true
 	switch s.Experiment {
 	case "fork":
 		fs.StringVar(&s.Bench, "bench", "", "")
@@ -386,11 +476,18 @@ func SpecFromArgs(args []string) (JobSpec, error) {
 		fs.IntVar(&s.Rows, "rows", 0, "")
 	case "dualcore":
 		// only the shared flags
+	case "omsstress":
+		fs.IntVar(&s.Tenants, "tenants", 0, "")
+		fs.IntVar(&s.Ops, "ops", 0, "")
+		fs.IntVar(&s.Segments, "segments", 0, "")
+		fs.IntVar(&s.OMSCapacity, "oms-capacity", 0, "")
+		fs.BoolVar(&omsSpill, "oms-spill", true, "")
+		fs.BoolVar(&s.Shared, "shared", false, "")
 	default:
 		return JobSpec{}, &ValidationError{Problems: []string{
 			fmt.Sprintf("unknown experiment %q", s.Experiment)}}
 	}
-	if s.Experiment != "dualcore" {
+	if s.Experiment != "dualcore" && s.Experiment != "omsstress" {
 		fs.BoolVar(&s.Cold, "cold", false, "")
 	}
 	fs.IntVar(&s.Parallel, "parallel", 0, "")
@@ -400,6 +497,9 @@ func SpecFromArgs(args []string) (JobSpec, error) {
 	if fs.NArg() > 0 {
 		return JobSpec{}, &ValidationError{Problems: []string{
 			fmt.Sprintf("unexpected arguments %v", fs.Args())}}
+	}
+	if s.Experiment == "omsstress" && !omsSpill {
+		s.NoSpill = true
 	}
 	if err := s.Validate(); err != nil {
 		return JobSpec{}, err
@@ -502,6 +602,25 @@ func (s JobSpec) Run(ctx context.Context, pool Pool) (*JobOutput, error) {
 			return nil, err
 		}
 		out.Export = CompareExport(params, report)
+	case "omsstress":
+		params := OMSStressParams{
+			Tenants:  n.Tenants,
+			Ops:      n.Ops,
+			Segments: n.Segments,
+			Capacity: n.OMSCapacity,
+			Spill:    !n.NoSpill,
+			Shared:   n.Shared,
+		}
+		if params.Capacity < 0 {
+			params.Capacity = 0 // -1 in the spec means unlimited
+		}
+		results, stats, err := RunOMSStressPool(ctx, pool, params)
+		if err != nil {
+			return nil, err
+		}
+		out.Export = sim.NewExport("omsstress")
+		out.Export.Results = results
+		out.Stats = stats
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

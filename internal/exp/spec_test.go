@@ -18,6 +18,9 @@ func TestSpecRoundTrip(t *testing.T) {
 		{Experiment: "sweep", Points: 8, Rows: 128},
 		{Experiment: "sweep"},
 		{Experiment: "dualcore", Parallel: 2},
+		{Experiment: "omsstress"},
+		{Experiment: "omsstress", Tenants: 2, Ops: 4000, Segments: 48, OMSCapacity: 8, Parallel: 2},
+		{Experiment: "omsstress", OMSCapacity: -1, NoSpill: true, Shared: true},
 	}
 	for _, s := range specs {
 		args := s.CLIArgs()
@@ -52,6 +55,14 @@ func TestSpecValidation(t *testing.T) {
 		{"negative matrices", JobSpec{Experiment: "linesize", Matrices: -2}, "matrices"},
 		{"sweep one point", JobSpec{Experiment: "sweep", Points: 1}, "at least 2 sweep points"},
 		{"sweep tiny rows", JobSpec{Experiment: "sweep", Rows: 4}, "cache line"},
+		{"ok omsstress", JobSpec{Experiment: "omsstress", OMSCapacity: 8, Shared: true}, ""},
+		{"omsstress with bench", JobSpec{Experiment: "omsstress", Bench: "mcf"}, `"bench" does not apply`},
+		{"omsstress with cold", JobSpec{Experiment: "omsstress", Cold: true}, `"cold" does not apply`},
+		{"omsstress bad capacity", JobSpec{Experiment: "omsstress", OMSCapacity: -2}, "oms_capacity"},
+		{"omsstress bad tenants", JobSpec{Experiment: "omsstress", Tenants: -1}, "tenants"},
+		{"fork with tenants", JobSpec{Experiment: "fork", Tenants: 2}, `"tenants" does not apply`},
+		{"sweep with shared", JobSpec{Experiment: "sweep", Shared: true}, `"shared" does not apply`},
+		{"spmv with nospill", JobSpec{Experiment: "spmv", NoSpill: true}, `"nospill" does not apply`},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()

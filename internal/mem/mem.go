@@ -239,6 +239,28 @@ func (m *Memory) WriteSpan(ppn arch.PPN, offset uint64, src []byte) {
 	copy(m.frame(ppn, true)[offset:], src)
 }
 
+// CopySpan copies n bytes from (src, srcOff) to (dst, dstOff) within main
+// memory without an intermediate buffer; neither span may cross its page
+// boundary. It is the segment-copy primitive of the Overlay Memory Store
+// (migration, spill, refill).
+func (m *Memory) CopySpan(dst arch.PPN, dstOff uint64, src arch.PPN, srcOff uint64, n int) {
+	if srcOff+uint64(n) > arch.PageSize || dstOff+uint64(n) > arch.PageSize {
+		panic("mem: CopySpan crosses page boundary")
+	}
+	if dst == ZeroPPN {
+		panic("mem: write to the zero page")
+	}
+	sf := m.frame(src, false)
+	df := m.frame(dst, true)
+	if sf == nil {
+		for i := range df[dstOff : dstOff+uint64(n)] {
+			df[dstOff+uint64(i)] = 0
+		}
+		return
+	}
+	copy(df[dstOff:dstOff+uint64(n)], sf[srcOff:srcOff+uint64(n)])
+}
+
 // CopyPage copies the full contents of frame src to frame dst.
 func (m *Memory) CopyPage(dst, src arch.PPN) {
 	if dst == ZeroPPN {

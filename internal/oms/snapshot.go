@@ -1,56 +1,116 @@
 package oms
 
-import "repro/internal/arch"
+import (
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
 
-// Snapshot support: the store's bookkeeping (free lists in exact order
-// — AllocSegment pops the tail, so order is timing-relevant — plus the
-// class maps and footprint totals) is captured by value. Segment
-// contents and metadata lines live in main memory and are covered by
-// the mem package's copy-on-write snapshot.
+// Snapshot support: the store's bookkeeping is flat arrays (the unit
+// table carries the free lists, cooling queue and class tags
+// intrusively), so a capture is a value copy of those arrays plus the
+// footprint totals and the spill tier — free-list and cooling-queue
+// order is preserved exactly (AllocSegment pops the tail and the clock
+// sweeps from the head, so order is timing-relevant). Segment contents
+// and metadata lines live in main memory and are covered by the mem
+// package's copy-on-write snapshot; spilled segment images live host-
+// side in the spill records and are deep-copied here.
 
 // Snapshot is an immutable capture of a Store's bookkeeping.
 type Snapshot struct {
-	free      [NumClasses][]arch.PhysAddr
-	freeClass map[arch.PhysAddr]int
-	segClass  map[arch.PhysAddr]int
-	owned     int
-	inUse     int
+	frames []arch.PPN
+	units  []unit
+
+	freeHead [NumClasses]int32
+	freeTail [NumClasses]int32
+
+	owned    int
+	inUse    int
+	liveSegs int
+
+	capacity     int
+	spill        bool
+	spillLat     sim.Cycle
+	spillLineLat sim.Cycle
+
+	coolHead, coolTail int32
+	coolLen            int
+
+	spillRecs    []spillRec
+	spillFree    []int32
+	spilledBytes int
+	spilledSegs  int
 }
 
 // Snapshot captures the store.
 func (s *Store) Snapshot() *Snapshot {
 	snap := &Snapshot{
-		freeClass: make(map[arch.PhysAddr]int, len(s.freeClass)),
-		segClass:  make(map[arch.PhysAddr]int, len(s.segClass)),
-		owned:     s.owned,
-		inUse:     s.inUse,
+		frames:       append([]arch.PPN(nil), s.frames...),
+		units:        append([]unit(nil), s.units...),
+		freeHead:     s.freeHead,
+		freeTail:     s.freeTail,
+		owned:        s.owned,
+		inUse:        s.inUse,
+		liveSegs:     s.liveSegs,
+		capacity:     s.capacity,
+		spill:        s.spill,
+		spillLat:     s.spillLat,
+		spillLineLat: s.spillLineLat,
+		coolHead:     s.coolHead,
+		coolTail:     s.coolTail,
+		coolLen:      s.coolLen,
+		spillFree:    append([]int32(nil), s.spillFree...),
+		spilledBytes: s.spilledBytes,
+		spilledSegs:  s.spilledSegs,
 	}
-	for c := range s.free {
-		snap.free[c] = append([]arch.PhysAddr(nil), s.free[c]...)
-	}
-	for k, v := range s.freeClass {
-		snap.freeClass[k] = v
-	}
-	for k, v := range s.segClass {
-		snap.segClass[k] = v
+	snap.spillRecs = make([]spillRec, len(s.spillRecs))
+	for i, rec := range s.spillRecs {
+		snap.spillRecs[i] = spillRec{
+			data:  append([]byte(nil), rec.data...),
+			owner: rec.owner,
+			class: rec.class,
+		}
 	}
 	return snap
 }
 
 // Restore loads the captured bookkeeping into this store (typically a
-// freshly built one wired to a forked Memory).
+// freshly built one wired to a forked Memory). The evict hook and trace
+// attachment are not part of the capture — the owner re-wires them.
 func (s *Store) Restore(snap *Snapshot) {
-	for c := range s.free {
-		s.free[c] = append(s.free[c][:0], snap.free[c]...)
+	s.frames = append(s.frames[:0], snap.frames...)
+	s.units = append(s.units[:0], snap.units...)
+	for i := range s.frameSlot {
+		s.frameSlot[i] = 0
 	}
-	s.freeClass = make(map[arch.PhysAddr]int, len(snap.freeClass))
-	for k, v := range snap.freeClass {
-		s.freeClass[k] = v
+	for slot, ppn := range s.frames {
+		s.frameSlot[ppn] = int32(slot) + 1
 	}
-	s.segClass = make(map[arch.PhysAddr]int, len(snap.segClass))
-	for k, v := range snap.segClass {
-		s.segClass[k] = v
-	}
+	s.freeHead = snap.freeHead
+	s.freeTail = snap.freeTail
 	s.owned = snap.owned
 	s.inUse = snap.inUse
+	s.liveSegs = snap.liveSegs
+	s.capacity = snap.capacity
+	s.spill = snap.spill
+	s.spillLat = snap.spillLat
+	s.spillLineLat = snap.spillLineLat
+	s.coolHead = snap.coolHead
+	s.coolTail = snap.coolTail
+	s.coolLen = snap.coolLen
+	s.pinned = -1
+	s.spillRecs = s.spillRecs[:0]
+	for _, rec := range snap.spillRecs {
+		s.spillRecs = append(s.spillRecs, spillRec{
+			data:  append([]byte(nil), rec.data...),
+			owner: rec.owner,
+			class: rec.class,
+		})
+	}
+	s.spillFree = append(s.spillFree[:0], snap.spillFree...)
+	s.spilledBytes = snap.spilledBytes
+	s.spilledSegs = snap.spilledSegs
+	if s.capacity != 0 {
+		s.bindCapacityCounters()
+		s.syncGauges()
+	}
 }
