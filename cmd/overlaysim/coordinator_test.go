@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// startCmd launches one subcommand through run with ready/stop hooks
+// already wired by the caller, and returns the bound address plus a
+// stop-and-check function.
+func startCmd(t *testing.T, args []string, ready <-chan string, stop chan struct{}) (addr string, shutdown func()) {
+	t.Helper()
+	exited := make(chan int, 1)
+	var out, errBuf bytes.Buffer
+	go func() { exited <- run(args, &out, &errBuf) }()
+	select {
+	case addr = <-ready:
+	case code := <-exited:
+		t.Fatalf("%s exited %d before listening, stderr: %s", args[0], code, errBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s never started listening", args[0])
+	}
+	stopped := false
+	return addr, func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(stop)
+		select {
+		case code := <-exited:
+			if code != 0 {
+				t.Fatalf("%s exited %d, want 0 (stderr: %s)", args[0], code, errBuf.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s did not exit after stop", args[0])
+		}
+		if !strings.Contains(errBuf.String(), "drained cleanly") {
+			t.Errorf("%s stderr missing drain confirmation: %s", args[0], errBuf.String())
+		}
+	}
+}
+
+// TestCoordinatorMatchesWorkerAndCLI is the end-to-end contract of the
+// cluster layer: a job routed through the coordinator returns byte-for-
+// byte the export the CLI writes with -json and the worker serves
+// directly, and a restarted coordinator answers the same digest from
+// its persistent store without any worker at all.
+func TestCoordinatorMatchesWorkerAndCLI(t *testing.T) {
+	// The CLI run everything else must reproduce.
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "fork.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"fork", "-bench=hmmer", "-warm=20000", "-measure=50000",
+		"-json=" + jsonPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("CLI fork exited %d, stderr: %s", code, stderr.String())
+	}
+	cliExport, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker, then a coordinator with a durable store routing to it.
+	workerReady := make(chan string, 1)
+	workerStop := make(chan struct{})
+	serveReady, serveStop = workerReady, workerStop
+	defer func() { serveReady, serveStop = nil, nil }()
+	workerAddr, stopWorker := startCmd(t,
+		[]string{"serve", "-addr=127.0.0.1:0", "-workers=1", "-grace=30s"},
+		workerReady, workerStop)
+	defer stopWorker()
+	workerURL := "http://" + workerAddr
+
+	storeDir := filepath.Join(dir, "results")
+	coordReady1 := make(chan string, 1)
+	coordStop1 := make(chan struct{})
+	coordReady, coordStop = coordReady1, coordStop1
+	defer func() { coordReady, coordStop = nil, nil }()
+	coordAddr, stopCoord := startCmd(t,
+		[]string{"coordinator", "-addr=127.0.0.1:0", "-worker=" + workerURL,
+			"-store=" + storeDir, "-health-interval=200ms", "-grace=30s"},
+		coordReady1, coordStop1)
+	coordURL := "http://" + coordAddr
+
+	spec := `{"experiment":"fork","bench":"hmmer","warm":20000,"measure":50000}`
+	post := func(base string) (int, server.JobDoc, http.Header) {
+		resp, err := http.Post(base+"/v1/jobs?wait=true", "application/json",
+			strings.NewReader(spec))
+		if err != nil {
+			t.Fatalf("POST %s/v1/jobs: %v", base, err)
+		}
+		defer resp.Body.Close()
+		var doc server.JobDoc
+		if resp.StatusCode < 300 {
+			if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+				t.Fatalf("decoding job doc: %v", err)
+			}
+		}
+		return resp.StatusCode, doc, resp.Header
+	}
+	getResult := func(base, id string) []byte {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatalf("GET result: %v", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s result: status %d, err %v", base, resp.StatusCode, err)
+		}
+		return body
+	}
+
+	// Via the coordinator: one engine run on the worker, bytes == CLI.
+	status, doc, _ := post(coordURL)
+	if status != http.StatusOK || doc.State != "done" || doc.Cached {
+		t.Fatalf("coordinator submit: status %d state %q cached %v, want 200/done/false",
+			status, doc.State, doc.Cached)
+	}
+	if doc.Worker != workerURL {
+		t.Fatalf("job ran on %q, want %q", doc.Worker, workerURL)
+	}
+	viaCoord := getResult(coordURL, doc.ID)
+	if !bytes.Equal(viaCoord, cliExport) {
+		t.Fatalf("coordinator result differs from CLI export (%d vs %d bytes)",
+			len(viaCoord), len(cliExport))
+	}
+
+	// Directly on the worker: the same digest is its cache hit, and the
+	// bytes it serves are the same bytes the coordinator relayed.
+	status, direct, _ := post(workerURL)
+	if status != http.StatusOK || !direct.Cached {
+		t.Fatalf("direct worker submit: status %d cached %v, want 200/true", status, direct.Cached)
+	}
+	if viaWorker := getResult(workerURL, direct.ID); !bytes.Equal(viaWorker, cliExport) {
+		t.Fatalf("worker result differs from CLI export (%d vs %d bytes)",
+			len(viaWorker), len(cliExport))
+	}
+
+	// Restart the coordinator on the same store with no workers at all:
+	// the previously computed result must come back from disk.
+	stopCoord()
+	coordReady2 := make(chan string, 1)
+	coordStop2 := make(chan struct{})
+	coordReady, coordStop = coordReady2, coordStop2
+	coordAddr2, stopCoord2 := startCmd(t,
+		[]string{"coordinator", "-addr=127.0.0.1:0", "-store=" + storeDir, "-grace=30s"},
+		coordReady2, coordStop2)
+	defer stopCoord2()
+
+	status, redo, hdr := post("http://" + coordAddr2)
+	if status != http.StatusOK || !redo.Cached || redo.CacheSource != server.CacheStore {
+		t.Fatalf("restarted coordinator: status %d cached %v source %q, want 200/true/%q",
+			status, redo.Cached, redo.CacheSource, server.CacheStore)
+	}
+	if got := hdr.Get("X-Overlaysim-Cache"); got != "hit-store" {
+		t.Fatalf("X-Overlaysim-Cache = %q, want hit-store", got)
+	}
+	if fromStore := getResult("http://"+coordAddr2, redo.ID); !bytes.Equal(fromStore, cliExport) {
+		t.Fatalf("store-served result differs from CLI export (%d vs %d bytes)",
+			len(fromStore), len(cliExport))
+	}
+
+	// The worker's engine ran exactly once for all of the above.
+	resp, err := http.Get(workerURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "overlaysim_server_engine_runs 1\n") {
+		t.Fatalf("worker metrics do not show exactly one engine run:\n%s", metrics)
+	}
+}
+
+// TestServeRegistersWithCoordinator proves worker mode: a serve process
+// given -register announces itself, and the coordinator routes to it
+// with no static -worker configuration.
+func TestServeRegistersWithCoordinator(t *testing.T) {
+	coordReadyC := make(chan string, 1)
+	coordStopC := make(chan struct{})
+	coordReady, coordStop = coordReadyC, coordStopC
+	defer func() { coordReady, coordStop = nil, nil }()
+	coordAddr, stopCoord := startCmd(t,
+		[]string{"coordinator", "-addr=127.0.0.1:0", "-health-interval=100ms", "-grace=30s"},
+		coordReadyC, coordStopC)
+	defer stopCoord()
+	coordURL := "http://" + coordAddr
+
+	// No workers yet: the coordinator is up but not ready.
+	resp, err := http.Get(coordURL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty coordinator /readyz = %d, want 503", resp.StatusCode)
+	}
+
+	workerReady := make(chan string, 1)
+	workerStop := make(chan struct{})
+	serveReady, serveStop = workerReady, workerStop
+	defer func() { serveReady, serveStop = nil, nil }()
+	_, stopWorker := startCmd(t,
+		[]string{"serve", "-addr=127.0.0.1:0", "-workers=1", "-grace=30s",
+			"-register=" + coordURL},
+		workerReady, workerStop)
+	defer stopWorker()
+
+	// Registration is periodic; wait for the fleet to show the worker.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(coordURL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never registered: /readyz still %d", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// And jobs route through the registered worker.
+	spec := `{"experiment":"sweep","points":3,"rows":16}`
+	presp, err := http.Post(coordURL+"/v1/jobs?wait=true", "application/json",
+		strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer presp.Body.Close()
+	var doc server.JobDoc
+	if err := json.NewDecoder(presp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding job doc: %v", err)
+	}
+	if presp.StatusCode != http.StatusOK || doc.State != "done" {
+		t.Fatalf("routed submit: status %d state %q, want 200/done", presp.StatusCode, doc.State)
+	}
+	if doc.Worker == "" {
+		t.Fatalf("job doc missing worker attribution: %+v", doc)
+	}
+}

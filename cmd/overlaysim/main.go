@@ -14,6 +14,7 @@
 //	overlaysim trace                  record a workload trace / replay one through the simulator
 //	overlaysim stats                  run one fork benchmark and dump all counters
 //	overlaysim serve                  serve experiment jobs over HTTP (docs/API.md)
+//	overlaysim coordinator            shard jobs across serve workers (docs/CLUSTER.md)
 //
 // Most subcommands accept -json=<file> (machine-readable schema-versioned
 // export), -csv=<file> (epoch series rows) and -tracelog=<file> (Chrome
@@ -139,6 +140,7 @@ func commands() []*command {
 		newTraceCmd(),
 		newStatsCmd(),
 		newServeCmd(),
+		newCoordinatorCmd(),
 	}
 }
 

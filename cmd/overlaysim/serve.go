@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -37,6 +38,9 @@ func newServeCmd() *command {
 	logFormat := fs.String("log-format", "json", "structured log format: json or text")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	notrace := fs.Bool("no-trace", false, "disable per-job span tracing")
+	store := fs.String("store", "", "persistent result store `directory` (empty disables the durable tier)")
+	register := fs.String("register", "", "coordinator base `URL` to self-register with (worker mode)")
+	advertise := fs.String("advertise", "", "base `URL` this worker registers as (default http://<bound addr>)")
 	return &command{
 		name:    "serve",
 		summary: "serve experiment jobs over HTTP (wire protocol: docs/API.md)",
@@ -62,6 +66,9 @@ func newServeCmd() *command {
 			if !ok {
 				return usageError(fmt.Sprintf("invalid -log-level %q: debug, info, warn or error", *logLevel))
 			}
+			if *advertise != "" && *register == "" {
+				return usageError("-advertise requires -register")
+			}
 			cfg := server.Config{
 				Workers:           *workers,
 				QueueDepth:        *queue,
@@ -71,7 +78,14 @@ func newServeCmd() *command {
 				Logger:            obs.NewLogger(stderr, *logFormat, level),
 				DisableTracing:    *notrace,
 			}
-			return serve(*addr, cfg, *grace, stdout, stderr)
+			if *store != "" {
+				fsStore, err := cluster.NewFSStore(*store)
+				if err != nil {
+					return usageError(fmt.Sprintf("invalid -store: %v", err))
+				}
+				cfg.Store = fsStore
+			}
+			return serve(*addr, cfg, *grace, *register, *advertise, stdout, stderr)
 		},
 	}
 }
@@ -80,7 +94,9 @@ func newServeCmd() *command {
 // (or the test stop hook), then drains: intake stops with 503, in-flight
 // jobs get the grace period to finish, stragglers are cancelled. A clean
 // drain exits 0; an expired grace period is a runtime error (exit 1).
-func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr io.Writer) error {
+// With register set, the worker keeps itself announced to that
+// coordinator for the server's whole lifetime (docs/CLUSTER.md).
+func serve(addr string, cfg server.Config, grace time.Duration, register, advertise string, stdout, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return usageError(fmt.Sprintf("invalid -addr: %v", err))
@@ -103,6 +119,18 @@ func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr i
 		serveReady <- ln.Addr().String()
 	}
 
+	// Worker mode: keep this server announced to the coordinator until
+	// shutdown. Registration failures are retried on the loop's cadence
+	// and never block serving.
+	regCtx, stopRegister := context.WithCancel(context.Background())
+	defer stopRegister()
+	if register != "" {
+		if advertise == "" {
+			advertise = "http://" + ln.Addr().String()
+		}
+		go cluster.RegisterLoop(regCtx, register, advertise, 5*time.Second, logger)
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -115,6 +143,7 @@ func serve(addr string, cfg server.Config, grace time.Duration, stdout, stderr i
 	// Restore default signal handling so a second signal kills the
 	// process instead of waiting out the grace period.
 	stopSignals()
+	stopRegister()
 
 	logger.Info("overlaysim serve: shutting down, draining jobs", "grace", grace.String())
 	graceCtx, cancel := context.WithTimeout(context.Background(), grace)

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight score binding key to
+// node: the first eight bytes of sha256(key "|" node) as a big-endian
+// integer. Every observer that knows the node set computes the same
+// ranking from nothing but the key, so routing needs no shared state
+// and no coordination.
+func rendezvousScore(key, node string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{'|'})
+	h.Write([]byte(node))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Rank orders nodes for key by descending rendezvous score (ties break
+// on node name, so the order is total and deterministic). The first
+// element is the key's home shard; the remainder is its failover
+// order. Removing a node from the input removes exactly that node
+// from the output — every other key keeps its home — which is the
+// property that makes worker loss cheap: only the lost shard's keys
+// re-home, and they re-home to what was already their second choice.
+func Rank(key string, nodes []string) []string {
+	ranked := append([]string(nil), nodes...)
+	scores := make(map[string]uint64, len(ranked))
+	for _, n := range ranked {
+		scores[n] = rendezvousScore(key, n)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}

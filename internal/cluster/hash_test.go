@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRankDeterministicTotalOrder(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := Rank("key-1", nodes)
+	r2 := Rank("key-1", []string{nodes[2], nodes[0], nodes[1]})
+	if len(r1) != 3 {
+		t.Fatalf("rank dropped nodes: %v", r1)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("ranking depends on input order: %v vs %v", r1, r2)
+		}
+	}
+	if same := Rank("key-1", nodes); fmt.Sprint(same) != fmt.Sprint(r1) {
+		t.Fatalf("ranking not deterministic: %v vs %v", same, r1)
+	}
+}
+
+// TestRankMinimalDisruption is the rendezvous property: removing one
+// node re-homes only the keys that lived there.
+func TestRankMinimalDisruption(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	const lost = "http://b:1"
+	survivors := []string{"http://a:1", "http://c:1", "http://d:1"}
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("digest-%03d", i)
+		before := Rank(key, nodes)[0]
+		after := Rank(key, survivors)[0]
+		switch {
+		case before == lost:
+			moved++
+		case before != after:
+			t.Fatalf("key %s moved from %s to %s though %s was lost", key, before, after, lost)
+		default:
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+	// The failover target of a lost key is exactly its second choice.
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("digest-%03d", i)
+		before := Rank(key, nodes)
+		if before[0] != lost {
+			continue
+		}
+		if after := Rank(key, survivors)[0]; after != before[1] {
+			t.Fatalf("key %s failed over to %s, want its second choice %s", key, after, before[1])
+		}
+	}
+}
+
+func TestRankSpreadsKeys(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	byNode := map[string]int{}
+	for i := 0; i < 300; i++ {
+		byNode[Rank(fmt.Sprintf("digest-%03d", i), nodes)[0]]++
+	}
+	for _, n := range nodes {
+		if byNode[n] == 0 {
+			t.Fatalf("node %s received no keys: %v", n, byNode)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// cjob is the coordinator-side record of one submission. All mutable
+// fields are guarded by the Coordinator's mutex.
+type cjob struct {
+	id        string
+	spec      exp.JobSpec
+	key       string
+	requestID string
+
+	state    string // server.State* vocabulary
+	cached   bool
+	cacheSrc string
+	worker   string // shard currently (or last) running the job
+	remoteID string // the worker's job ID
+	attempts int    // forwards consumed, including re-routes
+	errMsg   string
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  server.ProgressEvent
+	hasProg   bool
+	result    []byte
+
+	tracer *obs.Tracer
+	span   *obs.Span // "coordinator.job" root; "forward" spans nest under it
+	spans  []obs.Span
+
+	cancel context.CancelFunc
+	subs   map[chan struct{}]struct{}
+	done   chan struct{}
+}
+
+func (j *cjob) terminal() bool {
+	return j.state == server.StateDone || j.state == server.StateFailed ||
+		j.state == server.StateCancelled
+}
+
+func (j *cjob) traceID() string {
+	if j.tracer == nil {
+		return ""
+	}
+	return j.tracer.TraceID().String()
+}
+
+func (j *cjob) notifySubs() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// newJobLocked allocates and registers a job record with its trace.
+// Caller holds the Coordinator mutex.
+func (co *Coordinator) newJobLocked(spec exp.JobSpec, key, requestID string, remote obs.SpanContext) *cjob {
+	co.seq++
+	j := &cjob{
+		id:        fmt.Sprintf("cjob-%06d", co.seq),
+		spec:      spec,
+		key:       key,
+		requestID: requestID,
+		state:     server.StateQueued,
+		submitted: time.Now(),
+		subs:      make(map[chan struct{}]struct{}),
+		done:      make(chan struct{}),
+	}
+	if !co.cfg.DisableTracing {
+		j.tracer = obs.NewTracer(remote.TraceID, co.cfg.TraceCap)
+		j.span = j.tracer.StartSpan(remote, "coordinator.job")
+		j.span.SetAttr("job_id", j.id)
+		j.span.SetAttr("experiment", spec.Experiment)
+		if requestID != "" {
+			j.span.SetAttr("request_id", requestID)
+		}
+	}
+	co.jobs[j.id] = j
+	co.order = append(co.order, j)
+	return j
+}
+
+// completeFromStoreLocked finishes a fresh record as a store hit.
+// Caller holds the Coordinator mutex.
+func (j *cjob) completeFromStoreLocked(result []byte) {
+	now := time.Now()
+	j.state = server.StateDone
+	j.cached = true
+	j.cacheSrc = server.CacheStore
+	j.started, j.finished = now, now
+	j.result = result
+	j.span.SetAttr("cache", "hit-"+server.CacheStore)
+	j.endTraceLocked()
+	close(j.done)
+}
+
+// terminalizeLocked moves a job to a terminal state exactly once.
+// Caller holds the Coordinator mutex.
+func (co *Coordinator) terminalizeLocked(j *cjob, state, errMsg string) {
+	if j.terminal() {
+		return
+	}
+	delete(co.inflight, j.key)
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.endTraceLocked()
+	close(j.done)
+	j.notifySubs()
+}
+
+// endTraceLocked closes the root span and snapshots the trace.
+func (j *cjob) endTraceLocked() {
+	if j.tracer == nil {
+		return
+	}
+	j.span.End()
+	j.spans = j.tracer.Spans()
+}
+
+// doc renders the job in the same wire shape a worker uses, with the
+// routing fields filled in.
+func (j *cjob) doc(withResult bool) server.JobDoc {
+	d := server.JobDoc{
+		ID:          j.id,
+		State:       j.state,
+		Cached:      j.cached,
+		CacheSource: j.cacheSrc,
+		Spec:        j.spec,
+		Key:         j.key,
+		Worker:      j.worker,
+		Error:       j.errMsg,
+		TraceID:     j.traceID(),
+		RequestID:   j.requestID,
+		SubmittedAt: j.submitted,
+	}
+	if len(j.spans) > 0 {
+		base := j.spans[0].Start
+		for _, sp := range j.spans {
+			if sp.Start.Before(base) {
+				base = sp.Start
+			}
+		}
+		d.Spans = make([]server.SpanSummary, len(j.spans))
+		for i, sp := range j.spans {
+			d.Spans[i] = server.SpanSummary{
+				Name:    sp.Name,
+				StartUS: sp.Start.Sub(base).Microseconds(),
+				DurUS:   sp.Dur.Microseconds(),
+			}
+		}
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		d.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		d.FinishedAt = &t
+	}
+	if j.hasProg {
+		p := j.progress
+		d.Progress = &p
+	}
+	if withResult && j.result != nil {
+		d.Result = json.RawMessage(j.result)
+	}
+	return d
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// sseReader incrementally parses the subset of the SSE wire format
+// the worker emits: `event:` + `data:` lines separated by blank
+// lines. Comments and id/retry fields are ignored.
+type sseReader struct {
+	r *bufio.Reader
+}
+
+func newSSEReader(r io.Reader) *sseReader {
+	return &sseReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// next blocks until one complete event arrives. io.EOF (or any read
+// error) before a complete event reports the stream broken.
+func (s *sseReader) next() (sseEvent, error) {
+	var ev sseEvent
+	var data bytes.Buffer
+	for {
+		line, err := s.r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = trimEOL(line)
+		switch {
+		case line == "":
+			if ev.name != "" || data.Len() > 0 {
+				ev.data = append([]byte(nil), data.Bytes()...)
+				return ev, nil
+			}
+		case bytes.HasPrefix([]byte(line), []byte("event:")):
+			ev.name = trimFieldValue(line[len("event:"):])
+		case bytes.HasPrefix([]byte(line), []byte("data:")):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(trimFieldValue(line[len("data:"):]))
+		}
+	}
+}
+
+func trimEOL(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// trimFieldValue strips the single optional leading space the SSE
+// format allows after the field colon.
+func trimFieldValue(s string) string {
+	if len(s) > 0 && s[0] == ' ' {
+		return s[1:]
+	}
+	return s
+}

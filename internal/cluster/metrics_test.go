@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func parseExposition(t *testing.T, text string) scrape {
+	t.Helper()
+	samples, types, err := sim.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parsing exposition: %v\n%s", err, text)
+	}
+	return scrape{samples: samples, types: types}
+}
+
+// TestMergeScrapesSumsCounters proves the fleet aggregate is the sum
+// of worker registries, including labelled series.
+func TestMergeScrapesSumsCounters(t *testing.T) {
+	a := parseExposition(t, `# TYPE overlaysim_server_engine_runs counter
+overlaysim_server_engine_runs 3
+# TYPE overlaysim_server_http_responses_total counter
+overlaysim_server_http_responses_total{code="200"} 5
+overlaysim_server_http_responses_total{code="429"} 1
+`)
+	b := parseExposition(t, `# TYPE overlaysim_server_engine_runs counter
+overlaysim_server_engine_runs 4
+# TYPE overlaysim_server_http_responses_total counter
+overlaysim_server_http_responses_total{code="200"} 7
+`)
+	var out bytes.Buffer
+	writeMerged(&out, mergeScrapes([]scrape{a, b}))
+	merged := parseExposition(t, out.String())
+
+	got := map[string]float64{}
+	for _, s := range merged.samples {
+		got[s.Name+"{"+s.LabelVal+"}"] = s.Value
+	}
+	want := map[string]float64{
+		"overlaysim_server_engine_runs{}":             7,
+		"overlaysim_server_http_responses_total{200}": 12,
+		"overlaysim_server_http_responses_total{429}": 1,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v\n%s", k, got[k], v, out.String())
+		}
+	}
+	if merged.types["overlaysim_server_engine_runs"] != "counter" {
+		t.Errorf("TYPE declaration lost: %v", merged.types)
+	}
+}
+
+// TestMergeScrapesRecumulatesHistograms is the subtle case: workers
+// emit only their own non-empty cumulative buckets, so the merge must
+// de-cumulate, sum, and re-cumulate over the union of bounds. Worker
+// A has 2 samples ≤4; worker B has 3 samples ≤8 (none ≤4). A naive
+// per-le sum would report le="8" as 3, silently losing A's samples
+// from that bound.
+func TestMergeScrapesRecumulatesHistograms(t *testing.T) {
+	a := parseExposition(t, `# TYPE overlaysim_server_queue_wait_ms histogram
+overlaysim_server_queue_wait_ms_bucket{le="4"} 2
+overlaysim_server_queue_wait_ms_bucket{le="+Inf"} 2
+overlaysim_server_queue_wait_ms_sum 6
+overlaysim_server_queue_wait_ms_count 2
+`)
+	b := parseExposition(t, `# TYPE overlaysim_server_queue_wait_ms histogram
+overlaysim_server_queue_wait_ms_bucket{le="8"} 3
+overlaysim_server_queue_wait_ms_bucket{le="+Inf"} 3
+overlaysim_server_queue_wait_ms_sum 18
+overlaysim_server_queue_wait_ms_count 3
+`)
+	var out bytes.Buffer
+	writeMerged(&out, mergeScrapes([]scrape{a, b}))
+	merged := parseExposition(t, out.String())
+
+	buckets := map[string]float64{}
+	var sum, count float64
+	for _, s := range merged.samples {
+		switch {
+		case s.Le != "":
+			buckets[s.Le] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		}
+	}
+	if buckets["4"] != 2 || buckets["8"] != 5 || buckets["+Inf"] != 5 {
+		t.Errorf("buckets = %v, want le4=2 le8=5 +Inf=5\n%s", buckets, out.String())
+	}
+	if sum != 24 || count != 5 {
+		t.Errorf("sum/count = %v/%v, want 24/5", sum, count)
+	}
+	// Cumulative bucket order in the output: ascending, +Inf last.
+	text := out.String()
+	i4 := strings.Index(text, `le="4"`)
+	i8 := strings.Index(text, `le="8"`)
+	iInf := strings.Index(text, `le="+Inf"`)
+	if i4 < 0 || i8 < 0 || iInf < 0 || !(i4 < i8 && i8 < iInf) {
+		t.Errorf("bucket order wrong in output:\n%s", text)
+	}
+}
+
+func TestMergeScrapesSingleWorkerIsIdentity(t *testing.T) {
+	a := parseExposition(t, `# TYPE overlaysim_sim_stub_runs counter
+overlaysim_sim_stub_runs 9
+# TYPE overlaysim_server_job_wall_ms histogram
+overlaysim_server_job_wall_ms_bucket{le="16"} 1
+overlaysim_server_job_wall_ms_bucket{le="+Inf"} 4
+overlaysim_server_job_wall_ms_sum 100
+overlaysim_server_job_wall_ms_count 4
+`)
+	var out bytes.Buffer
+	writeMerged(&out, mergeScrapes([]scrape{a}))
+	merged := parseExposition(t, out.String())
+	got := map[string]float64{}
+	for _, s := range merged.samples {
+		got[s.Name+"{"+s.LabelVal+"}"] = s.Value
+	}
+	for k, v := range map[string]float64{
+		"overlaysim_sim_stub_runs{}":                 9,
+		"overlaysim_server_job_wall_ms_bucket{16}":   1,
+		"overlaysim_server_job_wall_ms_bucket{+Inf}": 4,
+		"overlaysim_server_job_wall_ms_sum{}":        100,
+		"overlaysim_server_job_wall_ms_count{}":      4,
+	} {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v\n%s", k, got[k], v, out.String())
+		}
+	}
+}

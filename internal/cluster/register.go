@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Register announces one worker to a coordinator: POST /v1/workers
+// with the worker's advertised base URL.
+func Register(ctx context.Context, client *http.Client, coordinator, advertise string) error {
+	body, err := json.Marshal(map[string]string{"url": advertise})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		coordinator+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("registration: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// RegisterLoop keeps a worker announced: one registration per
+// interval until ctx is cancelled. Periodic re-registration is what
+// lets a restarted coordinator re-learn its fleet without static
+// configuration, and doubles as an availability hint ahead of the
+// coordinator's own probes. Failures are logged and retried on the
+// next tick — the worker serves fine unregistered, it just receives
+// no routed jobs.
+func RegisterLoop(ctx context.Context, coordinator, advertise string, interval time.Duration, logger *slog.Logger) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	client := &http.Client{Timeout: interval}
+	registered := false
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := Register(ctx, client, coordinator, advertise); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			registered = false
+			logger.Warn("coordinator registration failed",
+				"coordinator", coordinator, "advertise", advertise, "err", err.Error())
+		} else if !registered {
+			registered = true
+			logger.Info("registered with coordinator",
+				"coordinator", coordinator, "advertise", advertise)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func testKey(t *testing.T) string {
+	t.Helper()
+	return exp.JobSpec{Experiment: "sweep"}.Key()
+}
+
+func TestFSStoreRoundTrip(t *testing.T) {
+	s, err := NewFSStore(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("Get on empty store = (%v, %v), want miss", ok, err)
+	}
+	want := `{"command":"sweep"}`
+	if err := s.Put(key, []byte(want)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || string(got) != want {
+		t.Fatalf("Get = (%q, %v, %v), want stored bytes", got, ok, err)
+	}
+	// Layout: dir/<key[:2]>/<key>.json — pinned because operators and
+	// docs/CLUSTER.md rely on it.
+	if _, err := os.Stat(filepath.Join(s.Dir(), key[:2], key+".json")); err != nil {
+		t.Fatalf("expected disk layout missing: %v", err)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	// Re-put is idempotent.
+	if err := s.Put(key, []byte(want)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len after re-put = %d, want 1", n)
+	}
+}
+
+func TestFSStoreSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	s1, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	if err := s1.Put(key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Get(key)
+	if err != nil || !ok || string(got) != `{"x":1}` {
+		t.Fatalf("reopened Get = (%q, %v, %v)", got, ok, err)
+	}
+}
+
+func TestFSStoreRejectsBadKeys(t *testing.T) {
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", strings.Repeat("g", 64), "../../../../etc/passwd",
+		strings.Repeat("A", 64), // upper-case hex is not what Key emits
+	} {
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted an invalid key", key)
+		}
+		if err := s.Put(key, []byte("{}")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+	}
+}
+
+func TestFSStoreCorruptEntryIsError(t *testing.T) {
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	if err := s.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry behind the store's back.
+	if err := os.WriteFile(filepath.Join(s.Dir(), key[:2], key+".json"),
+		[]byte(`{"ok":tr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); err == nil || ok {
+		t.Fatalf("corrupt entry Get = (ok=%v, err=%v), want error", ok, err)
+	}
+	// Put repairs it.
+	if err := s.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s.Get(key); err != nil || !ok || string(got) != `{"ok":true}` {
+		t.Fatalf("repaired Get = (%q, %v, %v)", got, ok, err)
+	}
+	// No temp litter from normal operation.
+	files, _ := os.ReadDir(filepath.Join(s.Dir(), key[:2]))
+	for _, f := range files {
+		if strings.Contains(f.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", f.Name())
+		}
+	}
+}

@@ -117,6 +117,41 @@ func TestSpecKey(t *testing.T) {
 	}
 }
 
+// TestSpecKeyIgnoresExecutionHints is the digest-agreement regression
+// for the result tiers (LRU cache, persistent store, coordinator shard
+// routing): every execution-only field — parallel, cold, shared — must
+// be invisible to Key, individually and combined, or identical work
+// would land in different cache slots depending on how it was launched.
+func TestSpecKeyIgnoresExecutionHints(t *testing.T) {
+	cases := []struct {
+		name          string
+		base, variant JobSpec
+	}{
+		{"parallel", JobSpec{Experiment: "omsstress"}, JobSpec{Experiment: "omsstress", Parallel: 7}},
+		{"shared", JobSpec{Experiment: "omsstress"}, JobSpec{Experiment: "omsstress", Shared: true}},
+		{"cold", JobSpec{Experiment: "dualcore"}, JobSpec{Experiment: "dualcore", Cold: true}},
+		{"all combined",
+			JobSpec{Experiment: "omsstress", Tenants: 3, Ops: 500},
+			JobSpec{Experiment: "omsstress", Tenants: 3, Ops: 500, Parallel: 4, Shared: true}},
+	}
+	for _, tc := range cases {
+		if tc.base.Key() != tc.variant.Key() {
+			t.Errorf("%s: execution hint changed the digest\n base    %s\n variant %s",
+				tc.name, tc.base.Key(), tc.variant.Key())
+		}
+		if string(tc.base.CanonicalJSON()) != string(tc.variant.CanonicalJSON()) {
+			t.Errorf("%s: canonical JSON diverged: %s vs %s",
+				tc.name, tc.base.CanonicalJSON(), tc.variant.CanonicalJSON())
+		}
+	}
+	// Simulation-relevant omsstress fields still diverge.
+	a := JobSpec{Experiment: "omsstress", Tenants: 2}
+	b := JobSpec{Experiment: "omsstress", Tenants: 3}
+	if a.Key() == b.Key() {
+		t.Error("different tenant counts share a digest")
+	}
+}
+
 // TestParseJobSpec covers strict decoding: unknown fields and invalid
 // specs are rejected with ValidationError.
 func TestParseJobSpec(t *testing.T) {

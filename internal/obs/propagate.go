@@ -1,0 +1,29 @@
+package obs
+
+// Cross-process trace propagation. A span context crosses a process
+// boundary as a W3C traceparent header: the CLI and the job service
+// already accept and echo it, and the cluster coordinator forwards it
+// on every hop so one job's span tree spans client → coordinator →
+// worker under a single trace ID (docs/OBSERVABILITY.md).
+
+import "net/http"
+
+// TraceparentHeader is the canonical W3C trace-context header name.
+const TraceparentHeader = "traceparent"
+
+// PropagateTraceparent writes sc into h as a traceparent header. An
+// invalid context (zero trace ID) propagates nothing, so callers can
+// pass a disabled tracer's context unconditionally.
+func PropagateTraceparent(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, sc.Traceparent())
+}
+
+// TraceparentFromHeader extracts the remote span context from h. It
+// returns ok=false — and a zero context, which adopts nothing — when
+// the header is absent or malformed, per the trace-context spec.
+func TraceparentFromHeader(h http.Header) (SpanContext, bool) {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}

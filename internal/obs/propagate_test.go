@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestPropagateRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	h := make(http.Header)
+	PropagateTraceparent(h, sc)
+	got, ok := TraceparentFromHeader(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip = %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestPropagateInvalidContextWritesNothing(t *testing.T) {
+	h := make(http.Header)
+	PropagateTraceparent(h, SpanContext{})
+	if v := h.Get(TraceparentHeader); v != "" {
+		t.Fatalf("invalid context wrote traceparent %q", v)
+	}
+	if _, ok := TraceparentFromHeader(h); ok {
+		t.Fatalf("absent header parsed as valid context")
+	}
+}
+
+func TestTraceparentFromHeaderRejectsMalformed(t *testing.T) {
+	for _, v := range []string{
+		"",
+		"00-zz-zz-00",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // unknown version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace ID
+	} {
+		h := make(http.Header)
+		if v != "" {
+			h.Set(TraceparentHeader, v)
+		}
+		if sc, ok := TraceparentFromHeader(h); ok {
+			t.Errorf("header %q parsed as valid context %+v", v, sc)
+		}
+	}
+}

@@ -184,18 +184,23 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 // handleSubmit accepts a JSON job spec. With ?wait=true the response
 // is deferred until the job reaches a terminal state (200); otherwise
 // an accepted job answers 202 immediately. Cache hits always answer
-// 200 with the completed job document. A valid `traceparent` request
-// header is adopted as the job trace's ID (the job's root span becomes
-// a child of the client's span); the response echoes the job's own
-// trace position in the same header.
+// 200 with the completed job document; the X-Overlaysim-Cache header
+// names the tier that answered (`hit` = in-memory LRU, `hit-store` =
+// persistent store, `miss` = the engine ran). A concurrent identical
+// submission joins the job already in flight (single-flight — the
+// engine runs once) and is marked with an X-Overlaysim-Singleflight
+// header naming the shared job. A valid `traceparent` request header
+// is adopted as the job trace's ID (the job's root span becomes a
+// child of the client's span); the response echoes the job's own trace
+// position in the same header.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := exp.ParseJobSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err, "")
 		return
 	}
-	remote, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
-	j, status, err := s.submit(spec, requestID(r), remote)
+	remote, _ := obs.TraceparentFromHeader(r.Header)
+	j, status, joined, err := s.submit(spec, requestID(r), remote)
 	if err != nil {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After",
@@ -208,8 +213,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err, jobID)
 		return
 	}
-	if sc := j.span.Context(); sc.Valid() {
-		w.Header().Set("traceparent", sc.Traceparent())
+	obs.PropagateTraceparent(w.Header(), j.span.Context())
+	switch {
+	case j.cached && j.cacheSrc == CacheStore:
+		w.Header().Set("X-Overlaysim-Cache", "hit-store")
+	case j.cached:
+		w.Header().Set("X-Overlaysim-Cache", "hit")
+	default:
+		w.Header().Set("X-Overlaysim-Cache", "miss")
+	}
+	if joined {
+		w.Header().Set("X-Overlaysim-Singleflight", j.id)
 	}
 	if status == http.StatusAccepted && wantWait(r) {
 		select {
@@ -366,6 +380,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	fl.Flush() // release the headers before the first event arrives
 
 	sub := make(chan struct{}, 1)
 	s.mu.Lock()

@@ -20,6 +20,12 @@ const (
 	StateCancelled = "cancelled"
 )
 
+// Cache sources: which tier answered a cached submission.
+const (
+	CacheMemory = "memory" // the in-process LRU
+	CacheStore  = "store"  // the persistent result store
+)
+
 // ProgressEvent is one structured progress update: completed sub-jobs
 // of the experiment's harness sweep (a fork suite counts benchmarks, a
 // sweep counts points, …).
@@ -39,6 +45,7 @@ type job struct {
 
 	state     string
 	cached    bool
+	cacheSrc  string // CacheMemory or CacheStore, "" when not cached
 	errMsg    string
 	submitted time.Time
 	started   time.Time
@@ -113,8 +120,10 @@ type JobDoc struct {
 	ID          string          `json:"id"`
 	State       string          `json:"state"`
 	Cached      bool            `json:"cached"`
+	CacheSource string          `json:"cache_source,omitempty"` // memory | store, cached jobs only
 	Spec        exp.JobSpec     `json:"spec"`
 	Key         string          `json:"key"`
+	Worker      string          `json:"worker,omitempty"` // coordinator-routed jobs: the shard's URL
 	Error       string          `json:"error,omitempty"`
 	TraceID     string          `json:"trace_id,omitempty"`
 	RequestID   string          `json:"request_id,omitempty"`
@@ -134,6 +143,7 @@ func (j *job) doc(withResult bool) JobDoc {
 		ID:          j.id,
 		State:       j.state,
 		Cached:      j.cached,
+		CacheSource: j.cacheSrc,
 		Spec:        j.spec,
 		Key:         j.key,
 		Error:       j.errMsg,

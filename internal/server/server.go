@@ -56,6 +56,13 @@ type Config struct {
 	// Runner overrides job execution (nil = exp.JobSpec.Run).
 	Runner Runner
 
+	// Store is the persistent result tier under the LRU cache (nil =
+	// none). Completed results are written through to it, and an LRU
+	// miss consults it before running the engine, so cache hits
+	// survive restarts and are deduplicated across every process
+	// sharing the store.
+	Store ResultStore
+
 	// Logger receives structured log records for submissions, job
 	// lifecycle transitions and HTTP requests (nil = records are
 	// discarded).
@@ -181,10 +188,11 @@ func (s *Server) observe(name string, v uint64) {
 // submit registers a new job or replies out of cache. requestID tags
 // the job with the submitting request; remote, when valid, is the
 // client's traceparent, adopted as the job trace's ID and root parent.
-// It returns the job (possibly an already-terminal cache-backed
-// record), a suggested HTTP status, and an error for rejections (full
-// queue, draining, duplicate in flight).
-func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanContext) (*job, int, error) {
+// It returns the job (possibly an already-terminal cache-backed record,
+// or — joined=true — the in-flight job an identical concurrent
+// submission collapsed onto), a suggested HTTP status, and an error for
+// rejections (full queue, draining).
+func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanContext) (j *job, status int, joined bool, err error) {
 	key := spec.Key()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -194,31 +202,44 @@ func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanConte
 	s.statsMu.Unlock()
 
 	if s.draining {
-		return nil, 503, errors.New("server is draining; not accepting jobs")
+		return nil, 503, false, errors.New("server is draining; not accepting jobs")
 	}
 	if result, ok := s.cache.get(key); ok {
 		s.addStat("server.cache_hits", 1)
-		j := s.newJobLocked(spec, key, requestID)
-		s.startTrace(j, remote)
-		j.span.SetAttr("cache", "hit")
-		now := time.Now()
-		j.state = StateDone
-		j.cached = true
-		j.started, j.finished = now, now
-		j.result = result
-		j.endTrace()
-		close(j.done)
-		s.cfg.Logger.Info("job served from cache",
-			"job_id", j.id, "trace_id", j.traceID(), "request_id", requestID,
-			"experiment", spec.Experiment)
-		return j, 200, nil
+		return s.cachedJobLocked(spec, key, requestID, remote, result, CacheMemory), 200, false, nil
 	}
 	s.addStat("server.cache_misses", 1)
 	if dup, ok := s.inflight[key]; ok {
-		return dup, 409, fmt.Errorf("an identical job is already in flight as %s", dup.id)
+		// Single-flight: a concurrent identical submission joins the
+		// job already in flight instead of being rejected — the engine
+		// runs once and every submitter polls or waits on the same
+		// record.
+		s.addStat("server.singleflight_hits", 1)
+		s.cfg.Logger.Info("job joined in-flight duplicate",
+			"job_id", dup.id, "trace_id", dup.traceID(), "request_id", requestID,
+			"experiment", spec.Experiment)
+		return dup, 202, true, nil
+	}
+	if s.cfg.Store != nil {
+		// The persistent tier sits under the LRU: a hit promotes the
+		// entry into memory and answers like any cache hit; a store
+		// error (corrupt entry, unreadable mount) is a miss — the job
+		// re-runs and the write-through repairs the entry. The read is
+		// a small local file; holding the registration lock across it
+		// keeps the miss→inflight transition atomic.
+		switch result, ok, serr := s.cfg.Store.Get(key); {
+		case serr != nil:
+			s.addStat("server.store_errors", 1)
+			s.cfg.Logger.Warn("result store read failed",
+				"key", key, "request_id", requestID, "err", serr.Error())
+		case ok:
+			s.addStat("server.store_hits", 1)
+			s.cache.put(key, result)
+			return s.cachedJobLocked(spec, key, requestID, remote, result, CacheStore), 200, false, nil
+		}
 	}
 
-	j := s.newJobLocked(spec, key, requestID)
+	j = s.newJobLocked(spec, key, requestID)
 	select {
 	case s.queue <- j:
 	default:
@@ -227,7 +248,7 @@ func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanConte
 		s.order = s.order[:len(s.order)-1]
 		s.seq--
 		s.addStat("server.queue_rejections", 1)
-		return nil, 429, fmt.Errorf("job queue is full (%d waiting)", cap(s.queue))
+		return nil, 429, false, fmt.Errorf("job queue is full (%d waiting)", cap(s.queue))
 	}
 	s.startTrace(j, remote)
 	j.span.SetAttr("cache", "miss")
@@ -236,7 +257,32 @@ func (s *Server) submit(spec exp.JobSpec, requestID string, remote obs.SpanConte
 	s.cfg.Logger.Info("job accepted",
 		"job_id", j.id, "trace_id", j.traceID(), "request_id", requestID,
 		"experiment", spec.Experiment, "queue_depth", len(s.queue))
-	return j, 202, nil
+	return j, 202, false, nil
+}
+
+// cachedJobLocked registers an already-terminal job backed by a cached
+// result. src names the tier that answered (CacheMemory or CacheStore).
+// Caller holds the Server mutex.
+func (s *Server) cachedJobLocked(spec exp.JobSpec, key, requestID string, remote obs.SpanContext, result []byte, src string) *job {
+	j := s.newJobLocked(spec, key, requestID)
+	s.startTrace(j, remote)
+	if src == CacheMemory {
+		j.span.SetAttr("cache", "hit")
+	} else {
+		j.span.SetAttr("cache", "hit-"+src)
+	}
+	now := time.Now()
+	j.state = StateDone
+	j.cached = true
+	j.cacheSrc = src
+	j.started, j.finished = now, now
+	j.result = result
+	j.endTrace()
+	close(j.done)
+	s.cfg.Logger.Info("job served from cache",
+		"job_id", j.id, "trace_id", j.traceID(), "request_id", requestID,
+		"experiment", spec.Experiment, "cache_source", src)
+	return j
 }
 
 // specBackendLabel is the {backend="..."} label value a submitted spec
@@ -356,6 +402,19 @@ func (s *Server) runJob(j *job) {
 		encSpan.End()
 	} else if err == nil {
 		err = errors.New("runner returned no result")
+	}
+
+	// Write the rendered result through to the persistent tier before
+	// publishing it, so a process that restarts right after answering
+	// can still serve the same bytes from the store. A failed write is
+	// logged and counted, not fatal — the LRU still has the entry.
+	if err == nil && s.cfg.Store != nil {
+		if serr := s.cfg.Store.Put(j.key, rendered); serr != nil {
+			s.addStat("server.store_errors", 1)
+			logger.Warn("result store write failed", "key", j.key, "err", serr.Error())
+		} else {
+			s.addStat("server.store_puts", 1)
+		}
 	}
 
 	s.mu.Lock()

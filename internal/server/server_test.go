@@ -225,39 +225,61 @@ func TestQueueFullRejects(t *testing.T) {
 	close(release)
 }
 
-func TestDuplicateInFlightConflicts(t *testing.T) {
+// TestDuplicateInFlightSingleFlight proves concurrent identical
+// submissions collapse onto one job: the second submitter gets the
+// in-flight job back (202 + X-Overlaysim-Singleflight) rather than a
+// rejection, both see the same result, and the engine runs exactly
+// once.
+func TestDuplicateInFlightSingleFlight(t *testing.T) {
 	release := make(chan struct{})
-	runner := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
+	runner := &countingRunner{}
+	blocking := func(ctx context.Context, spec exp.JobSpec, pool exp.Pool) (*exp.JobOutput, error) {
 		select {
 		case <-release:
-			return stubOutput(spec), nil
+			return runner.run(ctx, spec, pool)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
-	_, ts := newTestServer(t, Config{Workers: 1, Runner: runner})
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: blocking})
 
 	status, first, _ := postSpec(t, ts, sweepSpec(32), false)
 	if status != http.StatusAccepted {
 		t.Fatalf("first submit: status = %d, want 202", status)
 	}
-	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
-		strings.NewReader(sweepSpec(32)))
-	if err != nil {
-		t.Fatalf("POST duplicate: %v", err)
+	// The duplicate joins the leader while it is still in flight —
+	// even spelled with a different execution hint (same canonical key).
+	status, dup, hdr := postSpec(t, ts, `{"experiment":"sweep","points":2,"rows":32,"parallel":3}`, false)
+	if status != http.StatusAccepted {
+		t.Fatalf("duplicate submit: status = %d, want 202 (single-flight join)", status)
 	}
-	raw, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("duplicate submit: status = %d, want 409", resp.StatusCode)
+	if dup.ID != first.ID {
+		t.Fatalf("duplicate got job %s, want the in-flight job %s", dup.ID, first.ID)
 	}
-	var e struct {
-		JobID string `json:"job_id"`
+	if got := hdr.Get("X-Overlaysim-Singleflight"); got != first.ID {
+		t.Fatalf("X-Overlaysim-Singleflight = %q, want %q", got, first.ID)
 	}
-	if err := json.Unmarshal(raw, &e); err != nil || e.JobID != first.ID {
-		t.Fatalf("409 body %q does not name the in-flight job %s", raw, first.ID)
-	}
+
+	// A waiting duplicate blocks until the shared job finishes, then
+	// carries the result.
+	done := make(chan JobDoc, 1)
+	go func() {
+		_, doc, _ := postSpec(t, ts, sweepSpec(32), true)
+		done <- doc
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter subscribe
 	close(release)
+	select {
+	case doc := <-done:
+		if doc.State != StateDone || len(doc.Result) == 0 {
+			t.Fatalf("joined waiter doc: state %q, %d result bytes", doc.State, len(doc.Result))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("joined waiter never unblocked")
+	}
+	if got := runner.count(); got != 1 {
+		t.Fatalf("engine ran %d times, want 1 (single-flight)", got)
+	}
 }
 
 func TestLookupErrors(t *testing.T) {
@@ -553,6 +575,188 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	}
 	if _, ok := byName["overlaysim_server_job_wall_ms_count"]; !ok {
 		t.Errorf("histogram _count series missing from /metrics")
+	}
+}
+
+// mapStore is an in-memory ResultStore for tests; failGet injects a
+// read error (a "corrupt" entry) for one key.
+type mapStore struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	failGet string
+	gets    int
+	puts    int
+}
+
+func newMapStore() *mapStore { return &mapStore{entries: make(map[string][]byte)} }
+
+func (m *mapStore) Get(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gets++
+	if key == m.failGet {
+		return nil, false, fmt.Errorf("stub corruption for %s", key)
+	}
+	b, ok := m.entries[key]
+	return b, ok, nil
+}
+
+func (m *mapStore) Put(key string, result []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.puts++
+	m.entries[key] = append([]byte(nil), result...)
+	return nil
+}
+
+// TestPersistentStoreSurvivesRestart proves the store tier: a second
+// server sharing the first one's store answers the same spec from the
+// store — X-Overlaysim-Cache: hit-store, cache_source "store", byte-
+// identical result — without running its engine.
+func TestPersistentStoreSurvivesRestart(t *testing.T) {
+	store := newMapStore()
+	runner1 := &countingRunner{}
+	_, ts1 := newTestServer(t, Config{Workers: 1, Runner: runner1.run, Store: store})
+
+	status, doc, hdr := postSpec(t, ts1, sweepSpec(64), true)
+	if status != http.StatusOK || doc.State != StateDone {
+		t.Fatalf("first submit: status %d state %q", status, doc.State)
+	}
+	if got := hdr.Get("X-Overlaysim-Cache"); got != "miss" {
+		t.Fatalf("first submit X-Overlaysim-Cache = %q, want miss", got)
+	}
+	if store.puts != 1 {
+		t.Fatalf("store puts = %d, want 1 (write-through on completion)", store.puts)
+	}
+
+	// A "restarted" process: fresh server, empty LRU, same store.
+	runner2 := &countingRunner{}
+	_, ts2 := newTestServer(t, Config{Workers: 1, Runner: runner2.run, Store: store})
+	status, doc2, hdr2 := postSpec(t, ts2, sweepSpec(64), false)
+	if status != http.StatusOK || !doc2.Cached || doc2.CacheSource != CacheStore {
+		t.Fatalf("store hit: status %d cached %v source %q, want 200/true/store",
+			status, doc2.Cached, doc2.CacheSource)
+	}
+	if got := hdr2.Get("X-Overlaysim-Cache"); got != "hit-store" {
+		t.Fatalf("store hit X-Overlaysim-Cache = %q, want hit-store", got)
+	}
+	if string(doc2.Result) != string(doc.Result) {
+		t.Fatalf("store-served result differs from the original")
+	}
+	if runner2.count() != 0 {
+		t.Fatalf("second server ran the engine %d times, want 0", runner2.count())
+	}
+
+	// The store hit was promoted into the LRU: a third submission hits
+	// memory, not the store.
+	gets := store.gets
+	status, _, hdr3 := postSpec(t, ts2, sweepSpec(64), false)
+	if status != http.StatusOK || hdr3.Get("X-Overlaysim-Cache") != "hit" {
+		t.Fatalf("post-promotion submit: status %d cache %q, want 200/hit",
+			status, hdr3.Get("X-Overlaysim-Cache"))
+	}
+	if store.gets != gets {
+		t.Fatalf("memory hit consulted the store (%d extra reads)", store.gets-gets)
+	}
+}
+
+// TestStoreReadErrorFallsBackToEngine proves a corrupt store entry is
+// a miss, not an outage: the job re-runs and the write-through repairs
+// the entry.
+func TestStoreReadErrorFallsBackToEngine(t *testing.T) {
+	store := newMapStore()
+	runner := &countingRunner{}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: runner.run, Store: store})
+
+	var key string
+	{
+		spec, err := exp.ParseJobSpec(strings.NewReader(sweepSpec(72)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		key = spec.Key()
+	}
+	store.entries[key] = []byte("garbage")
+	store.failGet = key
+
+	status, doc, hdr := postSpec(t, ts, sweepSpec(72), true)
+	if status != http.StatusOK || doc.State != StateDone || doc.Cached {
+		t.Fatalf("submit over corrupt entry: status %d state %q cached %v, want 200/done/false",
+			status, doc.State, doc.Cached)
+	}
+	if got := hdr.Get("X-Overlaysim-Cache"); got != "miss" {
+		t.Fatalf("X-Overlaysim-Cache = %q, want miss (corrupt entry is a miss)", got)
+	}
+	if runner.count() != 1 {
+		t.Fatalf("engine ran %d times, want 1", runner.count())
+	}
+	// The raw result endpoint serves the exact stored bytes (the doc's
+	// embedded Result is re-compacted by the JSON encoder, so compare
+	// against the byte-preserving endpoint).
+	if code, raw := getBody(t, ts.URL+"/v1/jobs/"+doc.ID+"/result"); code != http.StatusOK ||
+		string(store.entries[key]) != string(raw) {
+		t.Fatalf("write-through did not repair the corrupt entry (GET result = %d)", code)
+	}
+	s.statsMu.Lock()
+	errs := s.stats.Get("server.store_errors")
+	s.statsMu.Unlock()
+	if errs != 1 {
+		t.Fatalf("server.store_errors = %d, want 1", errs)
+	}
+}
+
+// TestStoreAndCacheAgreeOnDigest is the digest-agreement regression:
+// a spec canonicalized with execution-only fields (parallel, cold,
+// shared) set must produce the same digest for the LRU cache, the
+// persistent store, and exp.JobSpec.Key — so every tier answers a
+// resubmission spelled with different execution hints.
+func TestStoreAndCacheAgreeOnDigest(t *testing.T) {
+	store := newMapStore()
+	runner := &countingRunner{}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: runner.run, Store: store})
+
+	base := `{"experiment":"omsstress","tenants":2,"ops":100,"segments":8}`
+	variant := `{"experiment":"omsstress","tenants":2,"ops":100,"segments":8,"parallel":4,"shared":true}`
+
+	status, doc, _ := postSpec(t, ts, base, true)
+	if status != http.StatusOK || doc.State != StateDone {
+		t.Fatalf("base submit: status %d state %q", status, doc.State)
+	}
+	// The stored entry is keyed by the canonical digest exp.JobSpec.Key.
+	baseSpec, err := exp.ParseJobSpec(strings.NewReader(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	varSpec, err := exp.ParseJobSpec(strings.NewReader(variant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseSpec.Key() != varSpec.Key() {
+		t.Fatalf("execution hints changed the digest: %s vs %s", baseSpec.Key(), varSpec.Key())
+	}
+	if _, ok := store.entries[doc.Key]; !ok {
+		t.Fatalf("store holds keys %v, not the job's digest %s", len(store.entries), doc.Key)
+	}
+	if doc.Key != baseSpec.Key() {
+		t.Fatalf("job doc key %s != spec digest %s", doc.Key, baseSpec.Key())
+	}
+
+	// The exec-hint variant hits the LRU...
+	status, v1, hdr := postSpec(t, ts, variant, false)
+	if status != http.StatusOK || !v1.Cached || hdr.Get("X-Overlaysim-Cache") != "hit" {
+		t.Fatalf("variant vs LRU: status %d cached %v cache %q, want 200/true/hit",
+			status, v1.Cached, hdr.Get("X-Overlaysim-Cache"))
+	}
+	// ...and, on a fresh server sharing only the store, the store.
+	runner2 := &countingRunner{}
+	_, ts2 := newTestServer(t, Config{Workers: 1, Runner: runner2.run, Store: store})
+	status, v2, hdr2 := postSpec(t, ts2, variant, false)
+	if status != http.StatusOK || !v2.Cached || hdr2.Get("X-Overlaysim-Cache") != "hit-store" {
+		t.Fatalf("variant vs store: status %d cached %v cache %q, want 200/true/hit-store",
+			status, v2.Cached, hdr2.Get("X-Overlaysim-Cache"))
+	}
+	if runner2.count() != 0 {
+		t.Fatalf("fresh server re-ran the engine for a stored digest")
 	}
 }
 
